@@ -1,0 +1,192 @@
+// Command pflow is the PerFlow command-line front end: it runs a workload
+// model or a DSL program under the simulator, builds the Program
+// Abstraction Graph, and applies a chosen analysis.
+//
+// Usage:
+//
+//	pflow -list
+//	pflow -workload zeusmp -ranks 64 -analysis profile
+//	pflow -workload zeusmp -ranks 64 -analysis comm
+//	pflow -workload zeusmp -ranks 8 -ranks2 64 -analysis scalability
+//	pflow -workload vite -ranks 8 -threads 8 -analysis contention
+//	pflow -workload lu -ranks 16 -analysis critical
+//	pflow -dsl prog.pfl -ranks 4 -analysis hotspot -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perflow"
+	"perflow/internal/interactive"
+)
+
+func main() {
+	var (
+		repl     = flag.Bool("interactive", false, "start the interactive analysis session (§4.5)")
+		list     = flag.Bool("list", false, "list built-in workloads and exit")
+		workload = flag.String("workload", "", "built-in workload name")
+		dslPath  = flag.String("dsl", "", "path to a program in the PerFlow DSL")
+		ranks    = flag.Int("ranks", 8, "MPI rank count")
+		ranks2   = flag.Int("ranks2", 0, "second (large) rank count for scalability analysis")
+		threads  = flag.Int("threads", 1, "threads per rank in parallel regions")
+		analysis = flag.String("analysis", "profile",
+			"analysis to run: profile | hotspot | comm | scalability | contention | critical | timeline | waitstates")
+		topN    = flag.Int("top", 10, "result count for hotspot-style analyses")
+		dotOut  = flag.String("dot", "", "write the highlighted result graph in DOT format to this file")
+		savePAG = flag.String("save-pag", "", "after running, persist the top-down PAG to this file for offline analysis")
+		loadPAG = flag.String("load-pag", "", "skip running; analyze a previously saved PAG (profile/hotspot/comm/waitstates only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range perflow.Workloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *repl {
+		if err := interactive.New(os.Stdout).Run(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "pflow:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	pf := perflow.New()
+	load := func(opts perflow.RunOptions) (*perflow.Result, error) {
+		if *loadPAG != "" {
+			return perflow.LoadPAGResult(*loadPAG)
+		}
+		switch {
+		case *dslPath != "":
+			f, err := os.Open(*dslPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return pf.RunDSL(f, opts)
+		case *workload != "":
+			return pf.RunWorkload(*workload, opts)
+		default:
+			return nil, fmt.Errorf("pflow: need -workload or -dsl (try -list)")
+		}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pflow:", err)
+		os.Exit(1)
+	}
+
+	var highlight *perflow.Set
+	switch *analysis {
+	case "profile":
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		if err != nil {
+			fail(err)
+		}
+		perflow.WriteMPIProfile(os.Stdout, pf.MPIProfilerParadigm(res))
+
+	case "hotspot":
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		if err != nil {
+			fail(err)
+		}
+		hot := pf.HotspotDetection(perflow.TopDownSet(res), *topN)
+		if err := pf.ReportTo(os.Stdout, []string{"name", "etime", "time", "count", "debug-info"}, hot); err != nil {
+			fail(err)
+		}
+		highlight = hot
+
+	case "comm":
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		if err != nil {
+			fail(err)
+		}
+		imb, _, err := pf.CommunicationAnalysisParadigm(res, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		highlight = imb
+
+	case "scalability":
+		if *ranks2 <= *ranks {
+			fail(fmt.Errorf("scalability analysis needs -ranks2 > -ranks"))
+		}
+		small, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		if err != nil {
+			fail(err)
+		}
+		large, err := load(perflow.RunOptions{Ranks: *ranks2, Threads: *threads})
+		if err != nil {
+			fail(err)
+		}
+		res, err := pf.ScalabilityAnalysisParadigm(small, large, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		highlight = res.Backtracked
+
+	case "contention":
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads})
+		if err != nil {
+			fail(err)
+		}
+		found := pf.ContentionDetection(perflow.ParallelSet(res))
+		if err := pf.ReportTo(os.Stdout, []string{"name", "label", "rank", "wait"}, found); err != nil {
+			fail(err)
+		}
+		highlight = found
+
+	case "critical":
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads})
+		if err != nil {
+			fail(err)
+		}
+		cp, err := pf.CriticalPathParadigm(res, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		highlight = cp
+
+	case "timeline":
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		if err != nil {
+			fail(err)
+		}
+		perflow.WriteTimeline(os.Stdout, res.Run)
+
+	case "waitstates":
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		if err != nil {
+			fail(err)
+		}
+		ws := pf.WaitStateAnalysis(pf.Filter(perflow.TopDownSet(res), "MPI_*"))
+		if err := pf.ReportTo(os.Stdout, []string{"name", "wait", "waitstate", "debug-info"}, ws); err != nil {
+			fail(err)
+		}
+		highlight = ws
+
+	default:
+		fail(fmt.Errorf("unknown analysis %q", *analysis))
+	}
+
+	if *savePAG != "" {
+		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		if err != nil {
+			fail(err)
+		}
+		if err := perflow.SavePAG(res, *savePAG); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved top-down PAG to %s\n", *savePAG)
+	}
+
+	if *dotOut != "" && highlight != nil {
+		if err := os.WriteFile(*dotOut, []byte(perflow.DOT(highlight, *analysis)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *dotOut)
+	}
+}

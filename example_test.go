@@ -1,0 +1,87 @@
+package perflow_test
+
+import (
+	"fmt"
+	"strings"
+
+	"perflow"
+)
+
+// The simulator is fully deterministic, so these examples double as golden
+// tests of the public API.
+
+const exampleProgram = `program example
+func main file main.c line 1
+  compute setup line 2 cost 100
+  loop steps line 4 trips 4 comm-per-iter
+    call work line 5
+    mpi allreduce line 6 bytes 8
+  end
+end
+func work file work.c line 1
+  loop inner line 2 trips 50 factor 0:3.0
+    compute kernel line 3 cost 2
+  end
+end
+`
+
+// ExamplePerFlow_HotspotDetection runs a DSL program and prints the top
+// hotspots — the first step of the paper's interactive workflow.
+func ExamplePerFlow_HotspotDetection() {
+	pf := perflow.New()
+	res, err := pf.RunDSL(strings.NewReader(exampleProgram), perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	hot := pf.HotspotDetection(perflow.TopDownSet(res), 3)
+	for _, name := range hot.Names() {
+		fmt.Println(name)
+	}
+	// The collective absorbs the imbalance as wait time, so it tops the
+	// list; the overloaded kernel follows.
+	// Output:
+	// MPI_Allreduce
+	// kernel
+	// setup
+}
+
+// ExamplePerFlow_ImbalanceAnalysis shows the imbalance pass flagging the
+// planted 3x overload on rank 0.
+func ExamplePerFlow_ImbalanceAnalysis() {
+	pf := perflow.New()
+	res, err := pf.RunDSL(strings.NewReader(exampleProgram), perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	imb := pf.ImbalanceAnalysis(pf.Filter(perflow.TopDownSet(res), "kernel"), 1.5)
+	for i := 0; i < imb.Len(); i++ {
+		v := imb.Vertex(i)
+		fmt.Printf("%s imbalance=%.1f\n", v.Name, v.Metric("imbalance"))
+	}
+	// Output:
+	// kernel imbalance=2.0
+}
+
+// ExamplePerFlow_BacktrackingAnalysis walks the propagation path of the
+// worst-waiting collective back to the imbalanced loop on rank 0.
+func ExamplePerFlow_BacktrackingAnalysis() {
+	pf := perflow.New()
+	res, err := pf.RunDSL(strings.NewReader(exampleProgram), perflow.RunOptions{Ranks: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	victim := pf.HotspotBy(pf.Filter(perflow.ParallelSet(res), "MPI_Allreduce"), perflow.MetricWait, 1)
+	paths := pf.BacktrackingAnalysis(victim)
+	found := false
+	for _, n := range paths.Names() {
+		if n == "kernel" {
+			found = true
+		}
+	}
+	fmt.Println("reached the imbalanced kernel:", found)
+	// Output:
+	// reached the imbalanced kernel: true
+}

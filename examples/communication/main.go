@@ -1,0 +1,48 @@
+// Communication analysis — the paper's running example (§2.2, Listing 1,
+// Figure 2): filter communication vertices, find the hot ones, check their
+// balance across ranks, and break the imbalanced calls down to decide
+// whether the cause is message sizes or preceding load imbalance.
+//
+//	go run ./examples/communication
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perflow"
+)
+
+func main() {
+	pf := perflow.New()
+
+	// pag = pflow.run(bin = "./a.out", cmd = "mpirun -np 4 ./a.out")
+	pag, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// V_comm = pflow.filter(pag.V, name = "MPI_*")
+	vComm := pf.Filter(perflow.TopDownSet(pag), "MPI_*")
+	// V_hot = pflow.hotspot_detection(V_comm)
+	vHot := pf.HotspotDetection(vComm, 10)
+	// V_imb = pflow.imbalance_analysis(V_hot)
+	vImb := pf.ImbalanceAnalysis(vHot, 1.2)
+	// V_bd = pflow.breakdown_analysis(V_imb)
+	vBd := pf.BreakdownAnalysis(vImb)
+
+	// attrs = ["name", "comm-info", "debug-info", "time"]
+	attrs := []string{"name", "comm-info", "debug-info", "etime", "wait", "imbalance", "breakdown"}
+	// pflow.report(V_imb, V_bd, attrs)
+	if err := pf.ReportTo(os.Stdout, attrs, vBd); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nvisualized graph (Graphviz DOT, truncated):")
+	dot := perflow.DOT(vImb, "communication_bugs")
+	if len(dot) > 600 {
+		dot = dot[:600] + "...\n"
+	}
+	fmt.Print(dot)
+}

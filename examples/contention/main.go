@@ -1,0 +1,70 @@
+// Contention detection — case study C (§5.5, Figures 13-16): Vite's
+// threaded Louvain iteration hammers the memory allocator, whose implicit
+// lock serializes the threads, so the code gets SLOWER as threads are
+// added. The PerFlowGraph of Figure 14 branches into hotspot detection,
+// differential analysis between thread counts, causal analysis, and
+// contention detection via subgraph matching on the parallel view.
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perflow"
+)
+
+func main() {
+	pf := perflow.New()
+
+	// Figure 13: scaling across thread counts, original vs optimized.
+	fmt.Println("Vite execution time, 8 processes (Figure 13):")
+	fmt.Printf("%8s %14s %14s\n", "threads", "original(ms)", "optimized(ms)")
+	var orig8, opt8 float64
+	for _, threads := range []int{2, 4, 6, 8} {
+		o, err := pf.RunWorkload("vite", perflow.RunOptions{Ranks: 8, Threads: threads, SkipParallelView: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := pf.RunWorkload("vite-opt", perflow.RunOptions{Ranks: 8, Threads: threads, SkipParallelView: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %14.2f %14.2f\n", threads, o.Run.TotalTime()/1000, p.Run.TotalTime()/1000)
+		if threads == 8 {
+			orig8, opt8 = o.Run.TotalTime(), p.Run.TotalTime()
+		}
+	}
+	fmt.Printf("8-thread improvement: %.1fx (paper: 25.29x)\n\n", orig8/opt8)
+
+	// The diagnosis pipeline of Figure 14.
+	two, err := pf.RunWorkload("vite", perflow.RunOptions{Ranks: 8, Threads: 2, SkipParallelView: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eight, err := pf.RunWorkload("vite", perflow.RunOptions{Ranks: 8, Threads: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hotspots (Figure 15a):")
+	hot := pf.HotspotDetection(perflow.TopDownSet(eight), 8)
+	if err := pf.ReportTo(os.Stdout, []string{"name", "etime", "debug-info"}, hot); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ndifferential analysis 2 vs 8 threads (Figure 15b):")
+	diff := pf.DifferentialAnalysis(perflow.TopDownSet(two), perflow.TopDownSet(eight))
+	worse := pf.HotspotBy(diff, perflow.MetricScaleLoss, 6)
+	if err := pf.ReportTo(os.Stdout, []string{"name", "scaleloss", "debug-info"}, worse); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncontention-pattern embeddings in the parallel view (Figure 16):")
+	found := pf.ContentionDetection(perflow.ParallelSet(eight))
+	if err := pf.ReportTo(os.Stdout, []string{"name", "label", "rank", "wait"}, found); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: run a built-in workload under the simulator, build its PAG,
+// and print the two most common first-look analyses — an mpiP-style MPI
+// profile and a hotspot table.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perflow"
+)
+
+func main() {
+	pf := perflow.New()
+
+	// "Run the binary and return a program abstraction graph" — the
+	// equivalent of the paper's pflow.run(bin="./cg", cmd="mpirun -np 8 ./cg").
+	res, err := pf.RunWorkload("cg", perflow.RunOptions{Ranks: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %s on %d ranks: %.2f ms virtual makespan, %d events\n",
+		res.Run.Program.Name, res.Run.NRanks, res.Run.TotalTime()/1000, res.Run.NumEvents())
+	nv, ne := res.TopDown.Size()
+	fmt.Printf("top-down PAG: %d vertices, %d edges; parallel view: %d vertices, %d edges\n\n",
+		nv, ne, res.Parallel.G.NumVertices(), res.Parallel.G.NumEdges())
+
+	// MPI profiler paradigm.
+	perflow.WriteMPIProfile(os.Stdout, pf.MPIProfilerParadigm(res))
+	fmt.Println()
+
+	// Hotspot detection on the whole PAG.
+	hot := pf.HotspotDetection(perflow.TopDownSet(res), 8)
+	if err := pf.ReportTo(os.Stdout, []string{"name", "etime", "count", "debug-info"}, hot); err != nil {
+		log.Fatal(err)
+	}
+}

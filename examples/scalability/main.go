@@ -1,0 +1,59 @@
+// Scalability analysis — case study A (§5.3) and Listing 7: run ZeusMP at
+// a small and a large scale, then apply the scalability-analysis paradigm
+// (differential -> hotspot + imbalance -> union -> backtracking) to find
+// the root cause of the scaling loss: the imbalanced loop_10.1 at
+// bvald.F:358, whose delay propagates through three MPI_Waitall calls into
+// the MPI_Allreduce at nudt.F:361.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perflow"
+)
+
+func main() {
+	pf := perflow.New()
+
+	// The implementation-effort comparison (§5.3: 27 lines with PerFlow vs
+	// thousands in ScalAna) counts the statements between the LOC markers;
+	// `pflow-bench loc` reads them from this file.
+	// BEGIN SCALABILITY PARADIGM
+	small, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: 8, SkipParallelView: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	large, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pf.ScalabilityAnalysisParadigm(small, large, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// END SCALABILITY PARADIGM
+
+	fmt.Printf("\nscaling-loss vertices (Figure 9):\n")
+	if err := pf.ReportTo(os.Stdout, []string{"name", "scaleloss", "debug-info"}, res.ScalingLoss); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nimbalanced vertices (black boxes of Figure 10):\n")
+	if err := pf.ReportTo(os.Stdout, []string{"name", "imbalance", "debug-info"}, res.Imbalanced); err != nil {
+		log.Fatal(err)
+	}
+
+	// The measurable payoff of the paper's fix (OpenMP sharing of the
+	// boundary loop): re-run the optimized variant and compare.
+	origSpeed := large.Run.TotalTime()
+	optLarge, err := pf.RunWorkload("zeusmp-opt", perflow.RunOptions{Ranks: 64, SkipParallelView: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimization: %.2f ms -> %.2f ms at 64 ranks (%.2f%% faster)\n",
+		origSpeed/1000, optLarge.Run.TotalTime()/1000,
+		100*(origSpeed-optLarge.Run.TotalTime())/origSpeed)
+}

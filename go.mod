@@ -1,0 +1,3 @@
+module perflow
+
+go 1.22

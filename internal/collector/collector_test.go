@@ -1,0 +1,131 @@
+package collector
+
+import (
+	"testing"
+
+	"perflow/internal/ir"
+	"perflow/internal/pag"
+)
+
+func program(t testing.TB) *ir.Program {
+	p, err := ir.NewBuilder("coltest").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			l := b.Loop("steps", 2, ir.Const(10), func(lb *ir.Body) {
+				lb.Compute("work", 3, ir.Expr{Base: 100, Scaling: ir.ScaleInvP, Factor: map[int]float64{0: 2}})
+				lb.Isend(4, ir.Peer{Kind: ir.PeerRight}, ir.Const(1024), 1, "s")
+				lb.Irecv(5, ir.Peer{Kind: ir.PeerLeft}, ir.Const(1024), 1, "r")
+				lb.Waitall(6)
+				lb.Allreduce(7, ir.Const(8))
+			})
+			l.CommPerIter = true
+		}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCollectHybrid(t *testing.T) {
+	res, err := Collect(program(t), Options{Ranks: 4, Mode: ModeHybrid})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if res.TopDown == nil || res.Parallel == nil || res.Run == nil {
+		t.Fatal("missing outputs")
+	}
+	if res.StaticTime <= 0 {
+		t.Error("static time not measured")
+	}
+	if res.DynamicOverheadPct <= 0 {
+		t.Errorf("dynamic overhead = %v, want > 0", res.DynamicOverheadPct)
+	}
+	if res.DynamicOverheadPct > 20 {
+		t.Errorf("hybrid overhead = %v%%, implausibly high", res.DynamicOverheadPct)
+	}
+	if res.PAGBytes <= 0 {
+		t.Error("PAG bytes not measured")
+	}
+	if res.TraceBytes != 0 {
+		t.Error("trace bytes should be zero outside tracing mode")
+	}
+	// Embedded data present.
+	workV := res.TopDown.G.FindVertexByName("work")
+	if res.TopDown.G.Vertex(workV).Metric(pag.MetricExclTime) <= 0 {
+		t.Error("embedding produced no exclusive time")
+	}
+}
+
+func TestPureDynamicCostsMore(t *testing.T) {
+	p := program(t)
+	hy, err := Collect(p, Options{Ranks: 4, Mode: ModeHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy, err := Collect(p, Options{Ranks: 4, Mode: ModePureDynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dy.DynamicOverheadPct <= hy.DynamicOverheadPct {
+		t.Errorf("pure dynamic (%v%%) should exceed hybrid (%v%%)",
+			dy.DynamicOverheadPct, hy.DynamicOverheadPct)
+	}
+}
+
+func TestTracingCostsAndStorage(t *testing.T) {
+	p := program(t)
+	hy, err := Collect(p, Options{Ranks: 4, Mode: ModeHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Collect(p, Options{Ranks: 4, Mode: ModeTracing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DynamicOverheadPct <= hy.DynamicOverheadPct {
+		t.Errorf("tracing overhead (%v%%) should exceed hybrid (%v%%)",
+			tr.DynamicOverheadPct, hy.DynamicOverheadPct)
+	}
+	if tr.TraceBytes <= 0 {
+		t.Error("tracing mode should report trace storage")
+	}
+	if tr.TraceBytes <= hy.PAGBytes/4 {
+		t.Errorf("trace storage (%d) should rival or exceed PAG storage (%d)", tr.TraceBytes, hy.PAGBytes)
+	}
+}
+
+func TestSkipParallelView(t *testing.T) {
+	res, err := Collect(program(t), Options{Ranks: 2, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallel != nil {
+		t.Error("parallel view should be skipped")
+	}
+}
+
+func TestCollectAtScales(t *testing.T) {
+	p := program(t)
+	small, large, err := CollectAtScales(p,
+		Options{Ranks: 2, SkipParallelView: true},
+		Options{Ranks: 8, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Run.NRanks != 2 || large.Run.NRanks != 8 {
+		t.Errorf("scales wrong: %d/%d", small.Run.NRanks, large.Run.NRanks)
+	}
+	// Strong-scaled work: large run should be faster per the ScaleInvP cost.
+	if large.CleanTime >= small.CleanTime {
+		t.Errorf("large run (%v) should be faster than small (%v)", large.CleanTime, small.CleanTime)
+	}
+}
+
+func TestCollectDefaults(t *testing.T) {
+	res, err := Collect(program(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.NRanks != 1 {
+		t.Errorf("default ranks = %d", res.Run.NRanks)
+	}
+}

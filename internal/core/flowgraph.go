@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pass is one analysis sub-task: it consumes input sets and produces output
+// sets (paper §4.2). Built-in passes live in passes.go; user-defined passes
+// implement this interface (or wrap a function with PassFunc).
+type Pass interface {
+	// Name identifies the pass in reports and errors.
+	Name() string
+	// Arity returns the number of input sets the pass expects; -1 accepts
+	// any number.
+	Arity() int
+	// Run performs the sub-task.
+	Run(in []*Set) ([]*Set, error)
+}
+
+// PassFunc adapts a function to the Pass interface.
+type PassFunc struct {
+	PassName string
+	NumIn    int // -1 = variadic
+	Fn       func(in []*Set) ([]*Set, error)
+}
+
+// Name returns the pass name.
+func (p PassFunc) Name() string { return p.PassName }
+
+// Arity returns the declared input count.
+func (p PassFunc) Arity() int { return p.NumIn }
+
+// Run invokes the wrapped function.
+func (p PassFunc) Run(in []*Set) ([]*Set, error) { return p.Fn(in) }
+
+// PNode is a vertex of a PerFlowGraph: a pass plus its wiring.
+type PNode struct {
+	id   int
+	pass Pass
+	// inputs[i] identifies the producer of the node's i-th input.
+	inputs []portRef
+	// seeded inputs provided directly (source nodes).
+	seed []*Set
+
+	outputs []*Set // one set per output port, filled during Run
+	done    bool
+}
+
+type portRef struct {
+	node *PNode
+	port int
+}
+
+// Name returns the underlying pass name.
+func (n *PNode) Name() string { return n.pass.Name() }
+
+// PerFlowGraph is the dataflow graph of a performance analysis task
+// (paper §4.1): vertices are passes, edges carry sets.
+type PerFlowGraph struct {
+	nodes []*PNode
+}
+
+// NewPerFlowGraph returns an empty dataflow graph.
+func NewPerFlowGraph() *PerFlowGraph { return &PerFlowGraph{} }
+
+// AddPass adds a pass vertex.
+func (g *PerFlowGraph) AddPass(p Pass) *PNode {
+	n := &PNode{id: len(g.nodes), pass: p}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// AddSource adds a source vertex that emits the given sets as its outputs.
+func (g *PerFlowGraph) AddSource(name string, sets ...*Set) *PNode {
+	n := g.AddPass(PassFunc{
+		PassName: name,
+		NumIn:    0,
+		Fn:       func([]*Set) ([]*Set, error) { return sets, nil },
+	})
+	n.seed = sets
+	return n
+}
+
+// Connect wires output port fromPort of from into input port toPort of to.
+// Input ports must be assigned exactly once before Run.
+func (g *PerFlowGraph) Connect(from *PNode, fromPort int, to *PNode, toPort int) {
+	for len(to.inputs) <= toPort {
+		to.inputs = append(to.inputs, portRef{})
+	}
+	to.inputs[toPort] = portRef{node: from, port: fromPort}
+}
+
+// Pipe is shorthand for Connect(from, 0, to, 0).
+func (g *PerFlowGraph) Pipe(from, to *PNode) { g.Connect(from, 0, to, 0) }
+
+// Run executes the dataflow graph: passes fire once all their inputs are
+// available; cycles and unbound inputs are reported as errors. It returns
+// the outputs of every node by pass name (last writer wins for duplicate
+// names; use node handles for precise access).
+func (g *PerFlowGraph) Run() (map[string][]*Set, error) {
+	for _, n := range g.nodes {
+		n.done = false
+		n.outputs = nil
+	}
+	remaining := len(g.nodes)
+	for remaining > 0 {
+		progressed := false
+		for _, n := range g.nodes {
+			if n.done || !g.ready(n) {
+				continue
+			}
+			in := make([]*Set, len(n.inputs))
+			for i, ref := range n.inputs {
+				if ref.node == nil {
+					return nil, fmt.Errorf("core: pass %q input %d is unconnected", n.Name(), i)
+				}
+				if ref.port >= len(ref.node.outputs) {
+					return nil, fmt.Errorf("core: pass %q input %d reads missing output port %d of %q",
+						n.Name(), i, ref.port, ref.node.Name())
+				}
+				in[i] = ref.node.outputs[ref.port]
+			}
+			if want := n.pass.Arity(); want >= 0 && len(in) != want {
+				return nil, fmt.Errorf("core: pass %q expects %d inputs, got %d", n.Name(), want, len(in))
+			}
+			out, err := n.pass.Run(in)
+			if err != nil {
+				return nil, fmt.Errorf("core: pass %q: %w", n.Name(), err)
+			}
+			n.outputs = out
+			n.done = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			var stuck []string
+			for _, n := range g.nodes {
+				if !n.done {
+					stuck = append(stuck, n.Name())
+				}
+			}
+			return nil, fmt.Errorf("core: PerFlowGraph has a cycle or unbound input involving: %s",
+				strings.Join(stuck, ", "))
+		}
+	}
+	results := make(map[string][]*Set, len(g.nodes))
+	for _, n := range g.nodes {
+		results[n.Name()] = n.outputs
+	}
+	return results, nil
+}
+
+// ready reports whether all producers of n's inputs have fired. A node with
+// no inputs is always ready.
+func (g *PerFlowGraph) ready(n *PNode) bool {
+	for _, ref := range n.inputs {
+		if ref.node == nil {
+			// Checked again in Run with a better error; treat as ready so
+			// the error surfaces.
+			return true
+		}
+		if !ref.node.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Outputs returns the sets a node produced during the last Run.
+func (n *PNode) Outputs() []*Set { return n.outputs }
+
+// Output returns the node's single output set (port 0), or nil.
+func (n *PNode) Output() *Set {
+	if len(n.outputs) == 0 {
+		return nil
+	}
+	return n.outputs[0]
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perflow/internal/graph"
+	"perflow/internal/pag"
+)
+
+// Graph-operation APIs on sets (paper §4.3.1): neighbor acquisition, edge
+// selection, and source/destination navigation — the primitives Listing 7's
+// backtracking pass is written with (v.es.select(IN_EDGE),
+// es.select(type=...), e.src). Unlike set operations, graph operations may
+// add elements not present in the input (O ⊄ I).
+
+// Direction selects which incident edges to navigate.
+type Direction int
+
+// Edge directions.
+const (
+	In Direction = iota
+	Out
+)
+
+// AnyEdgeLabel matches every edge label in Neighbors/SelectEdges.
+const AnyEdgeLabel = -1
+
+// Neighbors returns the set of vertices adjacent to the input vertices
+// through edges with the given label (AnyEdgeLabel for all), following
+// incoming or outgoing edges. The result is deduplicated, in discovery
+// order; the traversed edges are included in the result's edge list.
+func (s *Set) Neighbors(dir Direction, edgeLabel int) *Set {
+	out := NewSet(s.PAG)
+	seenV := map[graph.VertexID]bool{}
+	seenE := map[graph.EdgeID]bool{}
+	for _, vid := range s.V {
+		var eids []graph.EdgeID
+		if dir == In {
+			eids = s.PAG.G.InEdges(vid)
+		} else {
+			eids = s.PAG.G.OutEdges(vid)
+		}
+		for _, eid := range eids {
+			e := s.PAG.G.Edge(eid)
+			if edgeLabel != AnyEdgeLabel && e.Label != edgeLabel {
+				continue
+			}
+			other := e.Src
+			if dir == Out {
+				other = e.Dst
+			}
+			if !seenE[eid] {
+				seenE[eid] = true
+				out.E = append(out.E, eid)
+			}
+			if !seenV[other] {
+				seenV[other] = true
+				out.V = append(out.V, other)
+			}
+		}
+	}
+	return out
+}
+
+// SelectEdges returns the incident edges of the set's vertices with the
+// given label, deduplicated — the paper's es.select(type=...).
+func (s *Set) SelectEdges(dir Direction, edgeLabel int) []graph.EdgeID {
+	seen := map[graph.EdgeID]bool{}
+	var out []graph.EdgeID
+	for _, vid := range s.V {
+		var eids []graph.EdgeID
+		if dir == In {
+			eids = s.PAG.G.InEdges(vid)
+		} else {
+			eids = s.PAG.G.OutEdges(vid)
+		}
+		for _, eid := range eids {
+			if edgeLabel != AnyEdgeLabel && s.PAG.G.Edge(eid).Label != edgeLabel {
+				continue
+			}
+			if !seen[eid] {
+				seen[eid] = true
+				out = append(out, eid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sources returns the set of source vertices of the given edges — e.src.
+func (s *Set) Sources(edges []graph.EdgeID) *Set {
+	out := NewSet(s.PAG)
+	seen := map[graph.VertexID]bool{}
+	for _, eid := range edges {
+		src := s.PAG.G.Edge(eid).Src
+		if !seen[src] {
+			seen[src] = true
+			out.V = append(out.V, src)
+		}
+	}
+	return out
+}
+
+// Destinations returns the set of destination vertices of the given edges.
+func (s *Set) Destinations(edges []graph.EdgeID) *Set {
+	out := NewSet(s.PAG)
+	seen := map[graph.VertexID]bool{}
+	for _, eid := range edges {
+		dst := s.PAG.G.Edge(eid).Dst
+		if !seen[dst] {
+			seen[dst] = true
+			out.V = append(out.V, dst)
+		}
+	}
+	return out
+}
+
+// AddVertexTo adds a vertex to the set if not present (graph operations may
+// grow sets).
+func (s *Set) AddVertexTo(v graph.VertexID) {
+	if !s.Contains(v) {
+		s.V = append(s.V, v)
+	}
+}
+
+// DOTHeat renders the set's environment in DOT with vertices filled by the
+// severity of metric — "the color saturation of vertices represents the
+// severity of hotspots" in the paper's Figures 4, 5, 7, 9 and 15. The set's
+// vertices are boxed; edges in the set are bold red.
+func DOTHeat(s *Set, name, metric string) string {
+	g := s.PAG.G
+	var maxv float64
+	for i := 0; i < g.NumVertices(); i++ {
+		if m := g.Vertex(graph.VertexID(i)).Metric(metric); m > maxv {
+			maxv = m
+		}
+	}
+	hiV := map[graph.VertexID]bool{}
+	for _, v := range s.V {
+		hiV[v] = true
+	}
+	hiE := map[graph.EdgeID]bool{}
+	for _, e := range s.E {
+		hiE[e] = true
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=ellipse, style=filled];\n", name)
+	for i := 0; i < g.NumVertices(); i++ {
+		v := g.Vertex(graph.VertexID(i))
+		sat := 0.0
+		if maxv > 0 {
+			sat = v.Metric(metric) / maxv
+		}
+		attrs := fmt.Sprintf("label=%q, fillcolor=\"0.05 %.3f 1.0\"", v.Name, sat)
+		if hiV[v.ID] {
+			attrs += ", shape=box, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  v%d [%s];\n", v.ID, attrs)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		extra := ""
+		if hiE[e.ID] {
+			extra = " [color=red, penwidth=2.5]"
+		} else if e.Label == pag.EdgeInterProcess || e.Label == pag.EdgeInterThread {
+			extra = " [style=dashed]"
+		}
+		fmt.Fprintf(&b, "  v%d -> v%d%s;\n", e.Src, e.Dst, extra)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package graph
+
+// Graph difference (paper §4.3.2 B, Figure 7): given two PAGs of the same
+// program under different inputs or scales, produce a graph with the same
+// structure whose vertex metrics are the (signed) differences. Differential
+// analysis then treats large differences as scaling or input-sensitivity
+// issues even when the absolute values are not hotspots.
+
+// Diff returns a new graph with g1's structure whose scalar metrics are
+// g2's minus g1's, matched by vertex identity. Vertices are matched by
+// (Name, Label, debug-info attribute) key; a vertex of g1 with no match in
+// g2 keeps -g1's metrics (it disappeared), and metrics present only in the
+// g2 twin are copied with positive sign (it appeared). Vector metrics are
+// differenced element-wise up to the shorter length, with the longer tail
+// kept signed like scalars. String attributes are copied from g1.
+func Diff(g1, g2 *Graph) *Graph {
+	type key struct {
+		name  string
+		label int
+		dbg   string
+	}
+	idx2 := make(map[key][]VertexID, g2.NumVertices())
+	for i := 0; i < g2.NumVertices(); i++ {
+		v := g2.Vertex(VertexID(i))
+		k := key{v.Name, v.Label, v.Attr("debug")}
+		idx2[k] = append(idx2[k], VertexID(i))
+	}
+
+	out := New(g1.NumVertices(), g1.NumEdges())
+	taken := make(map[key]int)
+	for i := 0; i < g1.NumVertices(); i++ {
+		v1 := g1.Vertex(VertexID(i))
+		k := key{v1.Name, v1.Label, v1.Attr("debug")}
+		id := out.AddVertex(v1.Name, v1.Label)
+		ov := out.Vertex(id)
+		ov.Attrs = cloneStringMap(v1.Attrs)
+
+		var v2 *Vertex
+		if cands := idx2[k]; taken[k] < len(cands) {
+			v2 = g2.Vertex(cands[taken[k]])
+			taken[k]++
+		}
+		diffInto(ov, v1, v2)
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		e := g1.Edge(EdgeID(i))
+		oid := out.AddEdge(e.Src, e.Dst, e.Label)
+		out.Edge(oid).Attrs = cloneStringMap(e.Attrs)
+	}
+	return out
+}
+
+func diffInto(ov, v1, v2 *Vertex) {
+	for m, x1 := range v1.Metrics {
+		var x2 float64
+		if v2 != nil {
+			x2 = v2.Metric(m)
+		}
+		ov.SetMetric(m, x2-x1)
+	}
+	if v2 != nil {
+		for m, x2 := range v2.Metrics {
+			if _, ok := v1.Metrics[m]; !ok {
+				ov.SetMetric(m, x2)
+			}
+		}
+	}
+	for m, vec1 := range v1.VecMetrics {
+		var vec2 []float64
+		if v2 != nil {
+			vec2 = v2.Vec(m)
+		}
+		n := len(vec1)
+		if len(vec2) > n {
+			n = len(vec2)
+		}
+		dv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var a, b float64
+			if i < len(vec1) {
+				a = vec1[i]
+			}
+			if i < len(vec2) {
+				b = vec2[i]
+			}
+			dv[i] = b - a
+		}
+		ov.SetVec(m, dv)
+	}
+	if v2 != nil {
+		for m, vec2 := range v2.VecMetrics {
+			if _, ok := v1.VecMetrics[m]; ok {
+				continue
+			}
+			dv := make([]float64, len(vec2))
+			copy(dv, vec2)
+			ov.SetVec(m, dv)
+		}
+	}
+}
+
+// DiffNormalized is like Diff but divides each difference by the g1 value
+// (relative change), leaving 0 where the g1 value is 0. Useful for
+// scalability analysis where "grew 40x" matters more than "grew 3 ms".
+func DiffNormalized(g1, g2 *Graph) *Graph {
+	d := Diff(g1, g2)
+	for i := 0; i < d.NumVertices() && i < g1.NumVertices(); i++ {
+		dv := d.Vertex(VertexID(i))
+		v1 := g1.Vertex(VertexID(i))
+		for m, delta := range dv.Metrics {
+			if base := v1.Metric(m); base != 0 {
+				dv.Metrics[m] = delta / base
+			} else if delta == 0 {
+				dv.Metrics[m] = 0
+			}
+		}
+	}
+	return d
+}

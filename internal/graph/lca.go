@@ -1,0 +1,139 @@
+package graph
+
+// Lowest common ancestor on DAGs, used by the causal-analysis pass
+// (paper §4.3.2 C). The goal is the deepest vertex that has both query
+// vertices as descendants, where "deepest" means maximal longest-path depth
+// from the roots, matching Schieber–Vishkin-style LCA generalized to DAGs.
+
+// LCAFinder answers lowest-common-ancestor queries on a fixed DAG. Building
+// one precomputes a topological order and per-vertex depths; each query then
+// intersects ancestor sets.
+type LCAFinder struct {
+	g      *Graph
+	depths []int
+	valid  bool
+}
+
+// NewLCAFinder prepares LCA queries on g. If g is cyclic the finder is
+// created but every query returns NoVertex.
+func NewLCAFinder(g *Graph) *LCAFinder {
+	depths, ok := g.Depths()
+	return &LCAFinder{g: g, depths: depths, valid: ok}
+}
+
+// Valid reports whether the underlying graph was acyclic at construction.
+func (f *LCAFinder) Valid() bool { return f.valid }
+
+// ancestors returns the ancestor set of v (including v itself) as a boolean
+// slice indexed by VertexID, walking incoming edges.
+func (f *LCAFinder) ancestors(v VertexID) []bool {
+	anc := make([]bool, f.g.NumVertices())
+	f.g.ReverseBFS(v, func(u VertexID) bool {
+		anc[u] = true
+		return true
+	})
+	return anc
+}
+
+// Query returns the deepest common ancestor of a and b and one path from
+// that ancestor to each query vertex (pathA leads to a, pathB to b). Paths
+// are slices of edge IDs in ancestor-to-descendant order. If no common
+// ancestor exists (or the graph is cyclic), it returns NoVertex and nil
+// paths. A vertex counts as its own ancestor, so Query(v, v) == v and if a
+// is an ancestor of b, Query(a, b) == a.
+func (f *LCAFinder) Query(a, b VertexID) (lca VertexID, pathA, pathB []EdgeID) {
+	if !f.valid || !f.g.HasVertex(a) || !f.g.HasVertex(b) {
+		return NoVertex, nil, nil
+	}
+	ancA := f.ancestors(a)
+	ancB := f.ancestors(b)
+	lca = NoVertex
+	best := -1
+	for i := range ancA {
+		if ancA[i] && ancB[i] && f.depths[i] > best {
+			best = f.depths[i]
+			lca = VertexID(i)
+		}
+	}
+	if lca == NoVertex {
+		return NoVertex, nil, nil
+	}
+	return lca, f.pathDown(lca, a, ancA), f.pathDown(lca, b, ancB)
+}
+
+// pathDown returns edge IDs of one path from src down to dst, restricted to
+// vertices in the ancestor set anc of dst (which guarantees progress:
+// every vertex in anc other than dst has at least one outgoing edge to
+// another anc member on a path to dst).
+func (f *LCAFinder) pathDown(src, dst VertexID, anc []bool) []EdgeID {
+	if src == dst {
+		return nil
+	}
+	// BFS from src over edges whose destination is still an ancestor of dst
+	// (or dst itself), recording parents, then unwind.
+	g := f.g
+	parentEdge := make([]EdgeID, g.NumVertices())
+	for i := range parentEdge {
+		parentEdge[i] = NoEdge
+	}
+	seen := make([]bool, g.NumVertices())
+	seen[src] = true
+	queue := []VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == dst {
+			break
+		}
+		for _, eid := range g.out[v] {
+			d := g.edges[eid].Dst
+			if seen[d] || !anc[d] {
+				continue
+			}
+			seen[d] = true
+			parentEdge[d] = eid
+			queue = append(queue, d)
+		}
+	}
+	if !seen[dst] {
+		return nil
+	}
+	var rev []EdgeID
+	for v := dst; v != src; {
+		eid := parentEdge[v]
+		rev = append(rev, eid)
+		v = g.edges[eid].Src
+	}
+	// Reverse to ancestor-to-descendant order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// QueryAll returns, for each unordered pair of distinct vertices in vs, the
+// deepest common ancestor. Results are deduplicated and returned in ID order.
+func (f *LCAFinder) QueryAll(vs []VertexID) []VertexID {
+	seen := make(map[VertexID]bool)
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if lca, _, _ := f.Query(vs[i], vs[j]); lca != NoVertex {
+				seen[lca] = true
+			}
+		}
+	}
+	out := make([]VertexID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sortVertexIDs(out)
+	return out
+}
+
+func sortVertexIDs(vs []VertexID) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+import "sort"
+
+// Critical-path extraction on weighted DAGs, used by the critical-path
+// paradigm (paper §4.4, inspired by Böhme et al. and Schmitt et al.):
+// the critical path of a parallel execution is the longest weighted path
+// through the dependence graph; shrinking work on it shortens the run.
+
+// CriticalPath returns the maximum-weight path through the DAG, where the
+// weight of a path is the sum of vertex weights (weight(v) for each vertex
+// on the path) plus edge weights (edgeWeight(e), may be nil for 0).
+// It returns the vertices in path order, the edges connecting them, and the
+// total weight. On a cyclic graph it returns nil, nil, 0.
+func (g *Graph) CriticalPath(weight func(*Vertex) float64, edgeWeight func(*Edge) float64) ([]VertexID, []EdgeID, float64) {
+	order, ok := g.TopoSort()
+	if !ok {
+		return nil, nil, 0
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil, 0
+	}
+	dist := make([]float64, n)
+	prev := make([]EdgeID, n)
+	for i := range prev {
+		prev[i] = NoEdge
+		dist[i] = weight(&g.vertices[i])
+	}
+	for _, v := range order {
+		for _, eid := range g.out[v] {
+			e := &g.edges[eid]
+			ew := 0.0
+			if edgeWeight != nil {
+				ew = edgeWeight(e)
+			}
+			cand := dist[v] + ew + weight(&g.vertices[e.Dst])
+			if cand > dist[e.Dst] {
+				dist[e.Dst] = cand
+				prev[e.Dst] = eid
+			}
+		}
+	}
+	// Find the global maximum endpoint.
+	end := VertexID(0)
+	for i := 1; i < n; i++ {
+		if dist[i] > dist[end] {
+			end = VertexID(i)
+		}
+	}
+	var vRev []VertexID
+	var eRev []EdgeID
+	for v := end; ; {
+		vRev = append(vRev, v)
+		eid := prev[v]
+		if eid == NoEdge {
+			break
+		}
+		eRev = append(eRev, eid)
+		v = g.edges[eid].Src
+	}
+	reverseV(vRev)
+	reverseE(eRev)
+	return vRev, eRev, dist[end]
+}
+
+func reverseV(s []VertexID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseE(s []EdgeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// ShortestPath returns one minimum-hop path src -> dst as edge IDs, or nil
+// if dst is unreachable from src.
+func (g *Graph) ShortestPath(src, dst VertexID) []EdgeID {
+	if !g.HasVertex(src) || !g.HasVertex(dst) {
+		return nil
+	}
+	if src == dst {
+		return []EdgeID{}
+	}
+	parent := make([]EdgeID, g.NumVertices())
+	for i := range parent {
+		parent[i] = NoEdge
+	}
+	seen := make([]bool, g.NumVertices())
+	seen[src] = true
+	queue := []VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.out[v] {
+			d := g.edges[eid].Dst
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			parent[d] = eid
+			if d == dst {
+				var rev []EdgeID
+				for u := dst; u != src; {
+					e := parent[u]
+					rev = append(rev, e)
+					u = g.edges[e].Src
+				}
+				reverseE(rev)
+				return rev
+			}
+			queue = append(queue, d)
+		}
+	}
+	return nil
+}
+
+// CommunityDetect partitions the vertices into communities using
+// synchronous label propagation over the undirected skeleton of g, with
+// deterministic tie-breaking (smallest label wins). It returns a community
+// ID per vertex, with community IDs renumbered 0..k-1 in first-seen order.
+// Listed in the paper's graph-algorithm API alongside BFS and subgraph
+// matching (§4.3.1).
+func (g *Graph) CommunityDetect(maxRounds int) []int {
+	n := g.NumVertices()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	if maxRounds <= 0 {
+		maxRounds = 32
+	}
+	next := make([]int, n)
+	counts := make(map[int]int)
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			clear(counts)
+			for _, eid := range g.out[v] {
+				counts[labels[g.edges[eid].Dst]]++
+			}
+			for _, eid := range g.in[v] {
+				counts[labels[g.edges[eid].Src]]++
+			}
+			if len(counts) == 0 {
+				next[v] = labels[v]
+				continue
+			}
+			bestLabel, bestCount := labels[v], 0
+			keys := make([]int, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				if counts[k] > bestCount {
+					bestLabel, bestCount = k, counts[k]
+				}
+			}
+			next[v] = bestLabel
+			if next[v] != labels[v] {
+				changed = true
+			}
+		}
+		labels, next = next, labels
+		if !changed {
+			break
+		}
+	}
+	// Renumber.
+	renum := make(map[int]int)
+	out := make([]int, n)
+	for i, l := range labels {
+		id, ok := renum[l]
+		if !ok {
+			id = len(renum)
+			renum[l] = id
+		}
+		out[i] = id
+	}
+	return out
+}

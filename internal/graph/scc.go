@@ -1,0 +1,256 @@
+package graph
+
+// Strongly connected components (Tarjan) and dominator trees
+// (Cooper-Harvey-Kennedy). SCCs let passes condense cyclic regions of a
+// parallel view before running DAG algorithms; dominators power root-cause
+// reasoning on control flow — a vertex's immediate dominator is the last
+// point all paths to it share, a natural "must have passed through here"
+// primitive for backtracking analyses.
+
+// SCC computes strongly connected components with Tarjan's algorithm
+// (iterative, deterministic). It returns a component ID per vertex,
+// numbered in reverse topological order of the condensation (a component
+// has a smaller ID than any component it can reach... specifically,
+// components are numbered in completion order, which is reverse
+// topological), plus the component count.
+func (g *Graph) SCC() (comp []int, n int) {
+	nv := len(g.vertices)
+	comp = make([]int, nv)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, nv)
+	lowlink := make([]int, nv)
+	onStack := make([]bool, nv)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []VertexID
+	next := 0
+
+	type frame struct {
+		v  VertexID
+		ei int
+	}
+	var call []frame
+
+	for start := 0; start < nv; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{v: VertexID(start)})
+		index[start] = next
+		lowlink[start] = next
+		next++
+		stack = append(stack, VertexID(start))
+		onStack[start] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			outs := g.out[f.v]
+			advanced := false
+			for f.ei < len(outs) {
+				eid := outs[f.ei]
+				f.ei++
+				w := g.edges[eid].Dst
+				if index[w] == -1 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Finished v: pop a component if v is a root.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = n
+					if w == v {
+						break
+					}
+				}
+				n++
+			}
+		}
+	}
+	return comp, n
+}
+
+// Condense builds the condensation DAG of g: one vertex per SCC, one edge
+// per distinct cross-component edge (first occurrence wins; the edge's
+// label is preserved). It returns the condensation and the component ID
+// per original vertex. Condensation vertices are named after the first
+// original vertex of each component.
+func (g *Graph) Condense() (*Graph, []int) {
+	comp, n := g.SCC()
+	c := New(n, g.NumEdges())
+	named := make([]bool, n)
+	for i := 0; i < n; i++ {
+		c.AddVertex("", 0)
+	}
+	for i := range g.vertices {
+		ci := comp[i]
+		if !named[ci] {
+			named[ci] = true
+			cv := c.Vertex(VertexID(ci))
+			cv.Name = g.vertices[i].Name
+			cv.Label = g.vertices[i].Label
+		}
+	}
+	seen := map[[2]int]bool{}
+	for i := range g.edges {
+		e := &g.edges[i]
+		a, b := comp[e.Src], comp[e.Dst]
+		if a == b {
+			continue
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		c.AddEdge(VertexID(a), VertexID(b), e.Label)
+	}
+	return c, comp
+}
+
+// Dominators computes the immediate-dominator tree of the flowgraph rooted
+// at root using the Cooper-Harvey-Kennedy iterative algorithm. idom[v] is
+// the immediate dominator of v (root's idom is root itself); vertices
+// unreachable from root get NoVertex.
+func (g *Graph) Dominators(root VertexID) []VertexID {
+	n := g.NumVertices()
+	idom := make([]VertexID, n)
+	for i := range idom {
+		idom[i] = NoVertex
+	}
+	if !g.HasVertex(root) {
+		return idom
+	}
+
+	// Reverse postorder of the subgraph reachable from root.
+	order := g.postorderFrom(root)
+	// order is postorder; build rpo index.
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, j := 0, len(order)-1; j >= 0; i, j = i+1, j-1 {
+		rpoNum[order[j]] = i
+	}
+
+	idom[root] = root
+	changed := true
+	for changed {
+		changed = false
+		// Process in reverse postorder, skipping root.
+		for j := len(order) - 1; j >= 0; j-- {
+			v := order[j]
+			if v == root {
+				continue
+			}
+			var newIdom VertexID = NoVertex
+			for _, eid := range g.in[v] {
+				p := g.edges[eid].Src
+				if rpoNum[p] == -1 || idom[p] == NoVertex {
+					continue
+				}
+				if newIdom == NoVertex {
+					newIdom = p
+				} else {
+					newIdom = g.intersectDoms(p, newIdom, idom, rpoNum)
+				}
+			}
+			if newIdom != NoVertex && idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func (g *Graph) intersectDoms(a, b VertexID, idom []VertexID, rpo []int) VertexID {
+	for a != b {
+		for rpo[a] > rpo[b] {
+			a = idom[a]
+		}
+		for rpo[b] > rpo[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// postorderFrom returns the vertices reachable from root in DFS postorder.
+func (g *Graph) postorderFrom(root VertexID) []VertexID {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	var order []VertexID
+	type frame struct {
+		v  VertexID
+		ei int
+	}
+	stack := []frame{{v: root}}
+	seen[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		outs := g.out[f.v]
+		advanced := false
+		for f.ei < len(outs) {
+			w := g.edges[outs[f.ei]].Dst
+			f.ei++
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, frame{v: w})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		order = append(order, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// DominatorOf reports whether a dominates b given an idom tree from
+// Dominators (a vertex dominates itself).
+func DominatorOf(idom []VertexID, a, b VertexID) bool {
+	if a == b {
+		return true
+	}
+	for b != NoVertex {
+		parent := idom[b]
+		if parent == b { // reached the root
+			return parent == a
+		}
+		if parent == a {
+			return true
+		}
+		b = parent
+	}
+	return false
+}

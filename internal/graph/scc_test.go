@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 (one SCC), 2 -> 3 (singleton).
+	g := New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex("v", 0)
+	}
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	g.AddEdge(2, 3, 0)
+	comp, n := g.SCC()
+	if n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("cycle split: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Errorf("singleton merged: %v", comp)
+	}
+}
+
+func TestSCCOnDAGAllSingletons(t *testing.T) {
+	g := randomDAG(20, 0.2, 5)
+	_, n := g.SCC()
+	if n != g.NumVertices() {
+		t.Errorf("DAG should have %d singleton SCCs, got %d", g.NumVertices(), n)
+	}
+}
+
+func TestCondenseAcyclic(t *testing.T) {
+	// Two cycles joined by an edge.
+	g := New(5, 6)
+	for i := 0; i < 5; i++ {
+		g.AddVertex("v", 1)
+	}
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 0, 0)
+	g.AddEdge(1, 2, 7)
+	g.AddEdge(2, 3, 0)
+	g.AddEdge(3, 4, 0)
+	g.AddEdge(4, 2, 0)
+	c, comp := g.Condense()
+	if c.NumVertices() != 2 {
+		t.Fatalf("condensation |V| = %d, want 2", c.NumVertices())
+	}
+	if c.HasCycle() {
+		t.Error("condensation must be acyclic")
+	}
+	if c.NumEdges() != 1 {
+		t.Errorf("condensation |E| = %d, want 1", c.NumEdges())
+	}
+	if c.Edge(0).Label != 7 {
+		t.Errorf("cross edge label lost: %d", c.Edge(0).Label)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[4] {
+		t.Errorf("components wrong: %v", comp)
+	}
+}
+
+// Property: the condensation of any directed graph is acyclic and vertices
+// in the same component are mutually reachable.
+func TestSCCCondensationProperty(t *testing.T) {
+	f := func(seed int64, extraRaw uint8) bool {
+		g := randomDAG(14, 0.2, seed)
+		// Add some back edges to create cycles.
+		extra := int(extraRaw % 8)
+		pos := func(x int) int { // non-negative remainder
+			m := x % g.NumVertices()
+			if m < 0 {
+				m += g.NumVertices()
+			}
+			return m
+		}
+		for i := 0; i < extra; i++ {
+			a := VertexID(pos(int(seed)%7 + i*3))
+			b := VertexID(pos(int(seed)%5 + i*5))
+			if a != b {
+				g.AddEdge(a, b, 0)
+			}
+		}
+		c, comp := g.Condense()
+		if c.HasCycle() {
+			return false
+		}
+		// Mutual reachability within components (spot check vertex pairs).
+		for i := 0; i < g.NumVertices(); i++ {
+			for j := i + 1; j < g.NumVertices(); j++ {
+				if comp[i] == comp[j] {
+					ri := g.Reachable(VertexID(i))
+					rj := g.Reachable(VertexID(j))
+					if !ri[j] || !rj[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3 -> 4.
+	g := New(5, 5)
+	for i := 0; i < 5; i++ {
+		g.AddVertex("v", 0)
+	}
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 2, 0)
+	g.AddEdge(1, 3, 0)
+	g.AddEdge(2, 3, 0)
+	g.AddEdge(3, 4, 0)
+	idom := g.Dominators(0)
+	want := []VertexID{0, 0, 0, 0, 3}
+	for v, w := range want {
+		if idom[v] != w {
+			t.Errorf("idom[%d] = %d, want %d", v, idom[v], w)
+		}
+	}
+	if !DominatorOf(idom, 0, 4) || !DominatorOf(idom, 3, 4) {
+		t.Error("dominance query wrong")
+	}
+	if DominatorOf(idom, 1, 4) {
+		t.Error("1 should not dominate 4 (path via 2 exists)")
+	}
+	if !DominatorOf(idom, 2, 2) {
+		t.Error("a vertex dominates itself")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	g := New(3, 1)
+	for i := 0; i < 3; i++ {
+		g.AddVertex("v", 0)
+	}
+	g.AddEdge(0, 1, 0)
+	idom := g.Dominators(0)
+	if idom[2] != NoVertex {
+		t.Errorf("unreachable vertex has idom %d", idom[2])
+	}
+	if idom[0] != 0 {
+		t.Errorf("root idom = %d", idom[0])
+	}
+	bad := g.Dominators(VertexID(99))
+	for _, d := range bad {
+		if d != NoVertex {
+			t.Error("invalid root should yield empty tree")
+		}
+	}
+}
+
+func TestDominatorsLoopStructure(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1 (loop), 2 -> 3.
+	g := New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex("v", 0)
+	}
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 1, 0)
+	g.AddEdge(2, 3, 0)
+	idom := g.Dominators(0)
+	if idom[1] != 0 || idom[2] != 1 || idom[3] != 2 {
+		t.Errorf("idom = %v", idom)
+	}
+}
+
+// Property: every vertex reachable from the root is dominated by the root,
+// and idom parents are proper dominators (removing the idom disconnects...
+// weaker check: idom[v] is reachable and dominates v).
+func TestDominatorsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(16, 0.22, seed)
+		idom := g.Dominators(0)
+		reach := g.Reachable(0)
+		for v := 0; v < g.NumVertices(); v++ {
+			if !reach[v] {
+				if idom[v] != NoVertex {
+					return false
+				}
+				continue
+			}
+			if !DominatorOf(idom, 0, VertexID(v)) {
+				return false
+			}
+			if v != 0 && idom[v] == NoVertex {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

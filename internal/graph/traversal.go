@@ -1,0 +1,210 @@
+package graph
+
+// This file provides the traversal primitives used by PerFlow passes:
+// breadth-first search, depth-first search (pre-order), topological sort and
+// cycle detection, and reachability sets.
+
+// BFS visits every vertex reachable from start in breadth-first order,
+// calling visit for each. If visit returns false the traversal stops early.
+// Each reachable vertex is visited exactly once.
+func (g *Graph) BFS(start VertexID, visit func(VertexID) bool) {
+	if !g.HasVertex(start) {
+		return
+	}
+	seen := make([]bool, len(g.vertices))
+	queue := make([]VertexID, 0, 16)
+	queue = append(queue, start)
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if !visit(v) {
+			return
+		}
+		for _, eid := range g.out[v] {
+			d := g.edges[eid].Dst
+			if !seen[d] {
+				seen[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+}
+
+// BFSOrder returns the vertices reachable from start in BFS order.
+func (g *Graph) BFSOrder(start VertexID) []VertexID {
+	var order []VertexID
+	g.BFS(start, func(v VertexID) bool {
+		order = append(order, v)
+		return true
+	})
+	return order
+}
+
+// ReverseBFS visits every vertex from which start is reachable (i.e. walks
+// incoming edges), in breadth-first order.
+func (g *Graph) ReverseBFS(start VertexID, visit func(VertexID) bool) {
+	if !g.HasVertex(start) {
+		return
+	}
+	seen := make([]bool, len(g.vertices))
+	queue := []VertexID{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if !visit(v) {
+			return
+		}
+		for _, eid := range g.in[v] {
+			s := g.edges[eid].Src
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+}
+
+// DFSPreorder visits every vertex reachable from start in depth-first
+// pre-order, following outgoing edges in insertion order. This is the order
+// used to generate per-process "flows" for the parallel view of the PAG
+// (paper §3.4). If visit returns false the traversal stops.
+func (g *Graph) DFSPreorder(start VertexID, visit func(VertexID) bool) {
+	if !g.HasVertex(start) {
+		return
+	}
+	seen := make([]bool, len(g.vertices))
+	// Explicit stack; push children in reverse so insertion order pops first.
+	stack := []VertexID{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !visit(v) {
+			return
+		}
+		outs := g.out[v]
+		for i := len(outs) - 1; i >= 0; i-- {
+			d := g.edges[outs[i]].Dst
+			if !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+}
+
+// DFSPreorderFiltered behaves like DFSPreorder but only follows edges for
+// which follow returns true. A vertex may be reached through several
+// qualifying edges; it is still visited only once.
+func (g *Graph) DFSPreorderFiltered(start VertexID, follow func(*Edge) bool, visit func(VertexID) bool) {
+	if !g.HasVertex(start) {
+		return
+	}
+	seen := make([]bool, len(g.vertices))
+	stack := []VertexID{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !visit(v) {
+			return
+		}
+		outs := g.out[v]
+		for i := len(outs) - 1; i >= 0; i-- {
+			e := &g.edges[outs[i]]
+			if !follow(e) {
+				continue
+			}
+			if !seen[e.Dst] {
+				seen[e.Dst] = true
+				stack = append(stack, e.Dst)
+			}
+		}
+	}
+}
+
+// TopoSort returns a topological order of all vertices, or ok=false if the
+// graph contains a cycle. Kahn's algorithm; ties broken by vertex ID for
+// determinism.
+func (g *Graph) TopoSort() (order []VertexID, ok bool) {
+	n := len(g.vertices)
+	indeg := make([]int, n)
+	for i := range g.vertices {
+		indeg[i] = len(g.in[i])
+	}
+	// Min-heap by ID would be O(E log V); with dense IDs a simple sorted
+	// frontier per round is adequate for PAG sizes. Use a FIFO of ready
+	// vertices seeded in ID order.
+	ready := make([]VertexID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, VertexID(i))
+		}
+	}
+	order = make([]VertexID, 0, n)
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, eid := range g.out[v] {
+			d := g.edges[eid].Dst
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// HasCycle reports whether g contains a directed cycle.
+func (g *Graph) HasCycle() bool {
+	_, ok := g.TopoSort()
+	return !ok
+}
+
+// Reachable returns the set of vertices reachable from start (including
+// start itself) as a boolean slice indexed by VertexID.
+func (g *Graph) Reachable(start VertexID) []bool {
+	seen := make([]bool, len(g.vertices))
+	if !g.HasVertex(start) {
+		return seen
+	}
+	queue := []VertexID{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.out[v] {
+			d := g.edges[eid].Dst
+			if !seen[d] {
+				seen[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return seen
+}
+
+// Depths returns, for every vertex, the length of the longest path from any
+// root (in-degree-zero vertex) to it. Only valid on DAGs; returns ok=false
+// on cyclic graphs. Depth of a root is 0. Used by the DAG lowest-common-
+// ancestor search, which wants the "deepest" common ancestor.
+func (g *Graph) Depths() (depths []int, ok bool) {
+	order, ok := g.TopoSort()
+	if !ok {
+		return nil, false
+	}
+	depths = make([]int, len(g.vertices))
+	for _, v := range order {
+		for _, eid := range g.out[v] {
+			d := g.edges[eid].Dst
+			if depths[v]+1 > depths[d] {
+				depths[d] = depths[v] + 1
+			}
+		}
+	}
+	return depths, true
+}

@@ -1,0 +1,175 @@
+package interactive
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// drive runs a scripted session and returns its transcript.
+func drive(t *testing.T, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	s := New(&out)
+	if err := s.Run(strings.NewReader(script)); err != nil {
+		t.Fatalf("session error: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestInteractiveDiscoveryFlow(t *testing.T) {
+	// The §4.5 story: run, general hotspot pass first, then narrow to
+	// communication, then imbalance — building the analysis step by step.
+	out := drive(t, `
+run zeusmp 8
+hotspot 5
+undo
+comm
+hotspot 5
+imbalance
+report name wait debug
+quit
+`)
+	for _, want := range []string{
+		"ran zeusmp on 8 ranks",
+		"set: 5 vertices",
+		"restored set",
+		"MPI_",
+		"nudt.F:361",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInteractiveParallelViewCommands(t *testing.T) {
+	out := drive(t, `
+run vite 4 8
+all
+filter reallocate
+parallel
+contention
+report name label rank
+quit
+`)
+	if !strings.Contains(out, "heap_allocator") {
+		t.Errorf("contention output missing the heap-lock resource vertex:\n%s", out)
+	}
+}
+
+func TestInteractiveErrorsAreSoft(t *testing.T) {
+	out := drive(t, `
+hotspot
+frobnicate
+run nope
+run cg 4
+contention
+filter
+undo
+undo
+quit
+`)
+	wants := []string{
+		"no program loaded",
+		"unknown command",
+		"unknown workload",
+		"parallel view", // contention before switching views
+		"usage: filter",
+		"nothing to undo", // second undo (first consumed the filter... no transform happened, so first undo errors too; accept one)
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("transcript missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestInteractiveInfoTimelineProfile(t *testing.T) {
+	out := drive(t, `
+run cg 4
+info
+timeline
+mpip
+community
+quit
+`)
+	for _, want := range []string{"top-down view:", "timeline:", "MPI_", "community"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInteractiveJSONAndDot(t *testing.T) {
+	dir := t.TempDir()
+	dotFile := filepath.Join(dir, "out.dot")
+	out := drive(t, `
+run ep 2
+hotspot 3
+json
+dot `+dotFile+`
+quit
+`)
+	if !strings.Contains(out, `"vertices"`) {
+		t.Errorf("json output missing:\n%s", out)
+	}
+	data, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatalf("dot file not written: %v", err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("dot file malformed")
+	}
+}
+
+func TestInteractiveLoadDSL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.pfl")
+	src := `program tiny
+func main file t.c line 1
+  compute w line 2 cost 50
+  mpi allreduce line 3 bytes 8
+end
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := drive(t, "load "+path+" 4\ncomm\nreport name etime\nquit\n")
+	if !strings.Contains(out, "ran tiny on 4 ranks") || !strings.Contains(out, "MPI_Allreduce") {
+		t.Errorf("DSL session failed:\n%s", out)
+	}
+}
+
+func TestHelpListsEverything(t *testing.T) {
+	out := drive(t, "help\nlist\nquit\n")
+	for _, want := range []string{"hotspot", "contention", "backtrack", "zeusmp", "jacobi-gpu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help/list missing %q", want)
+		}
+	}
+}
+
+func TestInteractiveGraphMLAndHist(t *testing.T) {
+	dir := t.TempDir()
+	gml := filepath.Join(dir, "out.graphml")
+	out := drive(t, `
+run cg 4
+comm
+graphml `+gml+`
+hist time
+quit
+`)
+	data, err := os.ReadFile(gml)
+	if err != nil {
+		t.Fatalf("graphml not written: %v", err)
+	}
+	if !strings.Contains(string(data), "<graphml") {
+		t.Error("graphml malformed")
+	}
+	if !strings.Contains(out, "per process") {
+		t.Errorf("histogram missing:\n%s", out)
+	}
+}

@@ -1,0 +1,227 @@
+package ir
+
+// Fluent builder used by the workload models and tests to assemble programs
+// in Go. The textual DSL (dsl.go) covers the same surface for programs
+// defined in data files.
+
+// Builder assembles a Program.
+type Builder struct {
+	p *Program
+}
+
+// NewBuilder starts a program with the given name; the entry function
+// defaults to "main".
+func NewBuilder(name string) *Builder {
+	return &Builder{p: &Program{Name: name, Entry: "main"}}
+}
+
+// Meta sets the synthetic code and binary sizes reported in Table 2.
+func (b *Builder) Meta(kloc float64, binaryBytes int64) *Builder {
+	b.p.KLoC = kloc
+	b.p.BinaryBytes = binaryBytes
+	return b
+}
+
+// Entry overrides the entry function name.
+func (b *Builder) Entry(name string) *Builder {
+	b.p.Entry = name
+	return b
+}
+
+// Func declares a function and populates its body through build.
+func (b *Builder) Func(name, file string, line int, build func(*Body)) *Builder {
+	f := &Function{Info: Info{id: NoNode, Name: name, File: file, Line: line}}
+	if build != nil {
+		body := &Body{file: file, nodes: &f.Body}
+		build(body)
+	}
+	b.p.Functions = append(b.p.Functions, f)
+	return b
+}
+
+// Build finalizes and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if err := b.p.Finalize(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build for statically known-good programs (workload models);
+// it panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic("ir: " + err.Error())
+	}
+	return p
+}
+
+// Body appends nodes to a function, loop, branch or parallel-region body.
+type Body struct {
+	file  string
+	nodes *[]Node
+}
+
+func (s *Body) add(n Node) { *s.nodes = append(*s.nodes, n) }
+
+func (s *Body) info(name string, line int) Info {
+	return Info{id: NoNode, Name: name, File: s.file, Line: line}
+}
+
+// Compute appends a computation block and returns it for tweaking Flops and
+// MemBytes.
+func (s *Body) Compute(name string, line int, cost Expr) *Compute {
+	c := &Compute{Info: s.info(name, line), Cost: cost, Flops: 2, MemBytes: 8}
+	s.add(c)
+	return c
+}
+
+// Loop appends a counted loop; build populates its body.
+func (s *Body) Loop(label string, line int, trips Expr, build func(*Body)) *Loop {
+	l := &Loop{Info: s.info(label, line), Trips: trips}
+	if build != nil {
+		build(&Body{file: s.file, nodes: &l.Body})
+	}
+	s.add(l)
+	return l
+}
+
+// Branch appends a conditional region executed on ranks where taken is
+// nonzero.
+func (s *Body) Branch(label string, line int, taken Expr, build func(*Body)) *Branch {
+	br := &Branch{Info: s.info(label, line), Taken: taken}
+	if build != nil {
+		build(&Body{file: s.file, nodes: &br.Body})
+	}
+	s.add(br)
+	return br
+}
+
+// Call appends a call to another function of the program.
+func (s *Body) Call(callee string, line int) *Call {
+	c := &Call{Info: s.info(callee, line), Callee: callee}
+	s.add(c)
+	return c
+}
+
+// IndirectCall appends a call resolved only at runtime (function pointer).
+func (s *Body) IndirectCall(callee string, line int) *Call {
+	c := &Call{Info: s.info(callee, line), Callee: callee, Indirect: true}
+	s.add(c)
+	return c
+}
+
+// ExternalCall appends a call outside the program with a flat cost.
+func (s *Body) ExternalCall(name string, line int, cost Expr) *Call {
+	c := &Call{Info: s.info(name, line), Callee: name, External: true, Cost: cost}
+	s.add(c)
+	return c
+}
+
+// comm is the shared constructor for MPI operations.
+func (s *Body) comm(op CommKind, line int, peer Peer, bytes Expr, tag int, req string) *Comm {
+	c := &Comm{Info: s.info(op.String(), line), Op: op, Peer: peer, Bytes: bytes, Tag: tag, Req: req}
+	s.add(c)
+	return c
+}
+
+// Send appends a blocking send.
+func (s *Body) Send(line int, peer Peer, bytes Expr, tag int) *Comm {
+	return s.comm(CommSend, line, peer, bytes, tag, "")
+}
+
+// Recv appends a blocking receive.
+func (s *Body) Recv(line int, peer Peer, bytes Expr, tag int) *Comm {
+	return s.comm(CommRecv, line, peer, bytes, tag, "")
+}
+
+// Isend appends a non-blocking send tied to request req.
+func (s *Body) Isend(line int, peer Peer, bytes Expr, tag int, req string) *Comm {
+	return s.comm(CommIsend, line, peer, bytes, tag, req)
+}
+
+// Irecv appends a non-blocking receive tied to request req.
+func (s *Body) Irecv(line int, peer Peer, bytes Expr, tag int, req string) *Comm {
+	return s.comm(CommIrecv, line, peer, bytes, tag, req)
+}
+
+// Wait appends a wait for one named request.
+func (s *Body) Wait(line int, req string) *Comm {
+	return s.comm(CommWait, line, Peer{}, Expr{}, 0, req)
+}
+
+// Waitall appends a wait for all outstanding requests of the rank.
+func (s *Body) Waitall(line int) *Comm {
+	return s.comm(CommWaitall, line, Peer{}, Expr{}, 0, "")
+}
+
+// Barrier appends a barrier.
+func (s *Body) Barrier(line int) *Comm {
+	return s.comm(CommBarrier, line, Peer{}, Expr{}, 0, "")
+}
+
+// Allreduce appends an allreduce of the given payload size.
+func (s *Body) Allreduce(line int, bytes Expr) *Comm {
+	return s.comm(CommAllreduce, line, Peer{}, bytes, 0, "")
+}
+
+// Bcast appends a broadcast from rank 0.
+func (s *Body) Bcast(line int, bytes Expr) *Comm {
+	return s.comm(CommBcast, line, Peer{}, bytes, 0, "")
+}
+
+// Reduce appends a reduce to rank 0.
+func (s *Body) Reduce(line int, bytes Expr) *Comm {
+	return s.comm(CommReduce, line, Peer{}, bytes, 0, "")
+}
+
+// Alltoall appends an all-to-all exchange.
+func (s *Body) Alltoall(line int, bytes Expr) *Comm {
+	return s.comm(CommAlltoall, line, Peer{}, bytes, 0, "")
+}
+
+// Allgather appends an allgather.
+func (s *Body) Allgather(line int, bytes Expr) *Comm {
+	return s.comm(CommAllgather, line, Peer{}, bytes, 0, "")
+}
+
+// Sendrecv appends a fused send+receive with the same peer pattern in both
+// directions (send to peer, receive from the symmetric partner).
+func (s *Body) Sendrecv(line int, peer Peer, bytes Expr, tag int) *Comm {
+	return s.comm(CommSendrecv, line, peer, bytes, tag, "")
+}
+
+// Gather appends a gather to rank 0.
+func (s *Body) Gather(line int, bytes Expr) *Comm {
+	return s.comm(CommGather, line, Peer{}, bytes, 0, "")
+}
+
+// Scatter appends a scatter from rank 0.
+func (s *Body) Scatter(line int, bytes Expr) *Comm {
+	return s.comm(CommScatter, line, Peer{}, bytes, 0, "")
+}
+
+// Parallel appends a thread-parallel region.
+func (s *Body) Parallel(label string, line int, threads int, workshare bool, model ThreadModel, build func(*Body)) *Parallel {
+	p := &Parallel{Info: s.info(label, line), Threads: threads, Workshare: workshare, Model: model}
+	if build != nil {
+		build(&Body{file: s.file, nodes: &p.Body})
+	}
+	s.add(p)
+	return p
+}
+
+// Mutex appends an explicit critical section.
+func (s *Body) Mutex(lockName string, line int, count, hold Expr) *Mutex {
+	m := &Mutex{Info: s.info(lockName, line), LockName: lockName, Count: count, Hold: hold}
+	s.add(m)
+	return m
+}
+
+// Alloc appends allocator traffic (serializes on the implicit heap lock).
+func (s *Body) Alloc(op AllocKind, line int, count, hold Expr) *Alloc {
+	a := &Alloc{Info: s.info(op.String(), line), Op: op, Count: count, Hold: hold}
+	s.add(a)
+	return a
+}

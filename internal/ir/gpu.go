@@ -1,0 +1,75 @@
+package ir
+
+import "fmt"
+
+// GPU offload extension. The paper positions PerFlow's hybrid module as
+// "easy to extend to other programming models, such as CUDA" (§2.1); this
+// file is that extension: kernel-launch and device-synchronization nodes.
+// Each rank owns a GPU with independent per-stream clocks; asynchronous
+// launches overlap host execution until a synchronization point, exactly
+// the structure MPI-CUDA critical-path analysis (Schmitt et al., cited by
+// the paper) reasons about.
+
+// Kernel is a GPU kernel launch. The host pays a small launch overhead
+// (plus the host-to-device transfer when issued synchronously); the kernel
+// itself runs on the given stream. Async launches return immediately and
+// complete at the next DeviceSync covering the stream.
+type Kernel struct {
+	Info
+	Cost  Expr // device execution time (µs)
+	H2D   Expr // host-to-device bytes moved before the kernel
+	D2H   Expr // device-to-host bytes moved after the kernel
+	Strm  int  // stream ID (0 = default stream)
+	Async bool // overlap with host until the next sync
+}
+
+func (k *Kernel) base() *Info { return &k.Info }
+
+// Children returns nil (kernels are leaves).
+func (k *Kernel) Children() []Node { return nil }
+
+// Kind returns "kernel".
+func (k *Kernel) Kind() string { return "kernel" }
+
+// DeviceSync blocks the host until the given stream (or all streams when
+// Strm < 0) has drained — cudaStreamSynchronize / cudaDeviceSynchronize.
+type DeviceSync struct {
+	Info
+	Strm int // stream to wait for; -1 = all streams
+}
+
+func (d *DeviceSync) base() *Info { return &d.Info }
+
+// Children returns nil.
+func (d *DeviceSync) Children() []Node { return nil }
+
+// Kind returns "devicesync".
+func (d *DeviceSync) Kind() string { return "devicesync" }
+
+// Kernel appends a synchronous kernel launch to the body.
+func (s *Body) Kernel(name string, line int, cost Expr) *Kernel {
+	k := &Kernel{Info: s.info(name, line), Cost: cost}
+	s.add(k)
+	return k
+}
+
+// AsyncKernel appends an asynchronous kernel launch on the given stream.
+func (s *Body) AsyncKernel(name string, line int, cost Expr, stream int) *Kernel {
+	k := &Kernel{Info: s.info(name, line), Cost: cost, Strm: stream, Async: true}
+	s.add(k)
+	return k
+}
+
+// DeviceSync appends a stream synchronization (-1 = whole device).
+func (s *Body) DeviceSync(line int, stream int) *DeviceSync {
+	d := &DeviceSync{Info: s.info(syncName(stream), line), Strm: stream}
+	s.add(d)
+	return d
+}
+
+func syncName(stream int) string {
+	if stream < 0 {
+		return "cudaDeviceSynchronize"
+	}
+	return fmt.Sprintf("cudaStreamSynchronize(%d)", stream)
+}

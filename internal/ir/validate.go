@@ -1,0 +1,150 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural invariants of a finalized program:
+//
+//   - every non-external, non-indirect call targets a defined function;
+//   - Wait operations name a request; Isend/Irecv name a request;
+//   - point-to-point operations have a peer pattern;
+//   - thread-parallel regions are not nested;
+//   - the static call graph (ignoring indirect calls) is acyclic, so the
+//     simulators terminate (recursion is out of scope for the cost model).
+func (p *Program) Validate() error {
+	var err error
+	inParallel := false
+	var walkNodes func(ns []Node, fn string) // declared for mutual recursion
+	check := func(n Node, fn string) {
+		if err != nil {
+			return
+		}
+		switch x := n.(type) {
+		case *Call:
+			if !x.External && !x.Indirect && p.Function(x.Callee) == nil {
+				err = fmt.Errorf("ir: %s: call to undefined function %q at %s", fn, x.Callee, x.Debug())
+			}
+		case *Comm:
+			switch x.Op {
+			case CommSend, CommRecv, CommIsend, CommIrecv, CommSendrecv:
+				if x.Peer.Kind == PeerNone {
+					err = fmt.Errorf("ir: %s: %s at %s has no peer", fn, x.Op, x.Debug())
+				}
+			}
+			switch x.Op {
+			case CommIsend, CommIrecv, CommWait:
+				if x.Req == "" {
+					err = fmt.Errorf("ir: %s: %s at %s has no request name", fn, x.Op, x.Debug())
+				}
+			}
+		case *Parallel:
+			if inParallel {
+				err = fmt.Errorf("ir: %s: nested parallel region %q at %s", fn, x.Name, x.Debug())
+				return
+			}
+			inParallel = true
+			walkNodes(x.Body, fn)
+			inParallel = false
+		}
+	}
+	walkNodes = func(ns []Node, fn string) {
+		for _, n := range ns {
+			if err != nil {
+				return
+			}
+			check(n, fn)
+			if _, isPar := n.(*Parallel); !isPar { // Parallel recursed in check
+				walkNodes(n.Children(), fn)
+			}
+		}
+	}
+	for _, f := range p.Functions {
+		walkNodes(f.Body, f.Name)
+		if err != nil {
+			return err
+		}
+	}
+	return p.checkCallGraphAcyclic()
+}
+
+func (p *Program) checkCallGraphAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(p.Functions))
+	var visit func(f *Function) error
+	visit = func(f *Function) error {
+		color[f.Name] = gray
+		var err error
+		p.walkCalls(f.Body, func(c *Call) {
+			if err != nil || c.External || c.Indirect {
+				return
+			}
+			callee := p.Function(c.Callee)
+			switch color[callee.Name] {
+			case gray:
+				err = fmt.Errorf("ir: recursive call cycle through %q at %s", c.Callee, c.Debug())
+			case white:
+				err = visit(callee)
+			}
+		})
+		color[f.Name] = black
+		return err
+	}
+	for _, f := range p.Functions {
+		if color[f.Name] == white {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// walkCalls invokes fn for every Call in the node list, recursively.
+func (p *Program) walkCalls(ns []Node, fn func(*Call)) {
+	for _, n := range ns {
+		if c, ok := n.(*Call); ok {
+			fn(c)
+		}
+		p.walkCalls(n.Children(), fn)
+	}
+}
+
+// Stats summarizes the static shape of a program.
+type Stats struct {
+	Functions int
+	Loops     int
+	Branches  int
+	Calls     int
+	CommOps   int
+	Computes  int
+	Parallels int
+	Total     int
+}
+
+// CollectStats walks the program and counts node kinds.
+func (p *Program) CollectStats() Stats {
+	var s Stats
+	p.Walk(func(n, _ Node) {
+		s.Total++
+		switch n.(type) {
+		case *Function:
+			s.Functions++
+		case *Loop:
+			s.Loops++
+		case *Branch:
+			s.Branches++
+		case *Call:
+			s.Calls++
+		case *Comm:
+			s.CommOps++
+		case *Compute:
+			s.Computes++
+		case *Parallel:
+			s.Parallels++
+		}
+	})
+	return s
+}

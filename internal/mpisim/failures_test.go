@@ -1,0 +1,128 @@
+package mpisim
+
+import (
+	"strings"
+	"testing"
+
+	"perflow/internal/ir"
+)
+
+// Failure-injection suite: every classic MPI bug class must be detected as
+// a deadlock with actionable context rather than hanging or panicking.
+
+func expectDeadlock(t *testing.T, p *ir.Program, ranks int, wantSub ...string) *DeadlockError {
+	t.Helper()
+	_, err := Run(p, Config{NRanks: ranks})
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	for _, w := range wantSub {
+		if !strings.Contains(de.Error(), w) {
+			t.Errorf("deadlock message missing %q: %v", w, de.Error())
+		}
+	}
+	return de
+}
+
+func TestDeadlockCyclicRendezvousSends(t *testing.T) {
+	// Every rank does a large blocking send to the right before posting its
+	// receive: a cyclic rendezvous — the archetypal MPI deadlock.
+	p := ir.NewBuilder("cycle").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Send(2, ir.Peer{Kind: ir.PeerRight}, ir.Const(1_000_000), 0)
+			b.Recv(3, ir.Peer{Kind: ir.PeerLeft}, ir.Const(1_000_000), 0)
+		}).MustBuild()
+	de := expectDeadlock(t, p, 4, "MPI_Send", "m.c:2")
+	if len(de.Blocked) != 4 {
+		t.Errorf("blocked ranks = %d, want all 4", len(de.Blocked))
+	}
+}
+
+func TestNoDeadlockWhenEager(t *testing.T) {
+	// The same exchange with small (eager) messages completes: eager sends
+	// do not block — the subtle semantics difference real MPI codes trip on.
+	p := ir.NewBuilder("eager").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Send(2, ir.Peer{Kind: ir.PeerRight}, ir.Const(64), 0)
+			b.Recv(3, ir.Peer{Kind: ir.PeerLeft}, ir.Const(64), 0)
+		}).MustBuild()
+	if _, err := Run(p, Config{NRanks: 4}); err != nil {
+		t.Fatalf("eager exchange should complete: %v", err)
+	}
+}
+
+func TestDeadlockTagMismatch(t *testing.T) {
+	p := ir.NewBuilder("tags").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Branch("even", 2, ir.Expr{Base: 1, Factor: map[int]float64{1: 0}}, func(s *ir.Body) {
+				s.Send(3, ir.Peer{Kind: ir.PeerConst, Arg: 1}, ir.Const(64), 7)
+			})
+			b.Branch("odd", 5, ir.Expr{Base: 0, Add: map[int]float64{1: 1}}, func(s *ir.Body) {
+				s.Recv(6, ir.Peer{Kind: ir.PeerConst, Arg: 0}, ir.Const(64), 8) // wrong tag
+			})
+		}).MustBuild()
+	expectDeadlock(t, p, 2, "MPI_Recv")
+}
+
+func TestDeadlockMissingParticipantInCollective(t *testing.T) {
+	// Rank 1 skips the barrier.
+	p := ir.NewBuilder("skip").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Branch("most", 2, ir.Expr{Base: 1, Factor: map[int]float64{1: 0}}, func(s *ir.Body) {
+				s.Barrier(3)
+			})
+		}).MustBuild()
+	de := expectDeadlock(t, p, 4, "MPI_Barrier")
+	if len(de.Blocked) != 3 {
+		t.Errorf("blocked = %d, want the 3 arrivals", len(de.Blocked))
+	}
+}
+
+func TestDeadlockWaitOnNeverMatchedIrecv(t *testing.T) {
+	p := ir.NewBuilder("orphan").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Branch("r0", 2, ir.Expr{Base: 1, Factor: map[int]float64{1: 0}}, func(s *ir.Body) {
+				s.Irecv(3, ir.Peer{Kind: ir.PeerConst, Arg: 1}, ir.Const(64), 9, "r")
+				s.Wait(4, "r")
+			})
+		}).MustBuild()
+	expectDeadlock(t, p, 2, "MPI_Wait")
+}
+
+func TestDeadlockCountMismatchAcrossIterations(t *testing.T) {
+	// Rank 0 sends twice, rank 1 receives once — the leftover rendezvous
+	// send blocks forever.
+	p := ir.NewBuilder("count").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Branch("sender", 2, ir.Expr{Base: 1, Factor: map[int]float64{1: 0}}, func(s *ir.Body) {
+				l := s.Loop("twice", 3, ir.Const(2), func(lb *ir.Body) {
+					lb.Send(4, ir.Peer{Kind: ir.PeerConst, Arg: 1}, ir.Const(500_000), 0)
+				})
+				l.CommPerIter = true
+			})
+			b.Branch("receiver", 6, ir.Expr{Base: 0, Add: map[int]float64{1: 1}}, func(s *ir.Body) {
+				s.Recv(7, ir.Peer{Kind: ir.PeerConst, Arg: 0}, ir.Const(500_000), 0)
+			})
+		}).MustBuild()
+	expectDeadlock(t, p, 2, "MPI_Send")
+}
+
+func TestDeadlockReportBounded(t *testing.T) {
+	// With many blocked ranks the message stays readable (truncated).
+	p := ir.NewBuilder("many").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Recv(2, ir.Peer{Kind: ir.PeerRight}, ir.Const(10), 3)
+		}).MustBuild()
+	_, err := Run(p, Config{NRanks: 32})
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	if len(de.Blocked) != 32 {
+		t.Errorf("blocked = %d", len(de.Blocked))
+	}
+	if !strings.Contains(de.Error(), "more)") {
+		t.Errorf("long report not truncated: %v", de.Error())
+	}
+}

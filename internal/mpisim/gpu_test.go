@@ -1,0 +1,126 @@
+package mpisim
+
+import (
+	"math"
+	"testing"
+
+	"perflow/internal/ir"
+	"perflow/internal/trace"
+	"perflow/internal/workloads"
+)
+
+func TestSyncKernelBlocksHost(t *testing.T) {
+	p := ir.NewBuilder("k").
+		Func("main", "m.cu", 1, func(b *ir.Body) {
+			b.Kernel("update", 2, ir.Const(100))
+			b.Compute("post", 3, ir.Const(10))
+		}).MustBuild()
+	run := mustRun(t, p, Config{NRanks: 1, GPULaunchOverhead: 3})
+	// Host: launch (3) + kernel (100) + post (10) = 113.
+	if math.Abs(run.TotalTime()-113) > 1e-9 {
+		t.Errorf("total = %v, want 113", run.TotalTime())
+	}
+	var kernels int
+	run.ForEach(func(e *trace.Event) {
+		if e.Kind == trace.KindKernel {
+			kernels++
+			if e.Dur() < 100 {
+				t.Errorf("kernel span %v too short", e.Dur())
+			}
+		}
+	})
+	if kernels != 1 {
+		t.Errorf("kernel events = %d", kernels)
+	}
+}
+
+func TestAsyncKernelOverlapsHost(t *testing.T) {
+	p := ir.NewBuilder("ak").
+		Func("main", "m.cu", 1, func(b *ir.Body) {
+			b.AsyncKernel("update", 2, ir.Const(100), 1)
+			b.Compute("host_work", 3, ir.Const(100))
+			b.DeviceSync(4, 1)
+		}).MustBuild()
+	run := mustRun(t, p, Config{NRanks: 1, GPULaunchOverhead: 3})
+	// Kernel (100, started at 3) overlaps host work (100, starts at 3):
+	// both end ~103; sync adds nothing beyond the later of the two.
+	if run.TotalTime() > 110 {
+		t.Errorf("total = %v, want ~103 (overlapped)", run.TotalTime())
+	}
+	// Serialized (sync launch) would be ~203.
+	serial := ir.NewBuilder("sk").
+		Func("main", "m.cu", 1, func(b *ir.Body) {
+			b.Kernel("update", 2, ir.Const(100))
+			b.Compute("host_work", 3, ir.Const(100))
+		}).MustBuild()
+	srun := mustRun(t, serial, Config{NRanks: 1, GPULaunchOverhead: 3})
+	if srun.TotalTime() <= run.TotalTime()+50 {
+		t.Errorf("serialized (%v) should be much slower than overlapped (%v)", srun.TotalTime(), run.TotalTime())
+	}
+}
+
+func TestDeviceSyncWaitAttributed(t *testing.T) {
+	p := ir.NewBuilder("ds").
+		Func("main", "m.cu", 1, func(b *ir.Body) {
+			b.AsyncKernel("slow", 2, ir.Const(500), 2)
+			b.Compute("short", 3, ir.Const(10))
+			b.DeviceSync(4, -1)
+		}).MustBuild()
+	run := mustRun(t, p, Config{NRanks: 1})
+	var syncWait float64
+	run.ForEach(func(e *trace.Event) {
+		if e.Kind == trace.KindGPUSync {
+			syncWait += e.Wait
+		}
+	})
+	if syncWait < 400 {
+		t.Errorf("device sync wait = %v, want ~490", syncWait)
+	}
+}
+
+func TestKernelTransfersCost(t *testing.T) {
+	p := ir.NewBuilder("tr").
+		Func("main", "m.cu", 1, func(b *ir.Body) {
+			k := b.Kernel("update", 2, ir.Const(10))
+			k.H2D = ir.Const(80000)
+			k.D2H = ir.Const(80000)
+		}).MustBuild()
+	run := mustRun(t, p, Config{NRanks: 1, GPULaunchOverhead: 3, GPUBandwidth: 8000})
+	// 3 + 10 + 2*(80000/8000) = 33.
+	if math.Abs(run.TotalTime()-33) > 1e-9 {
+		t.Errorf("total = %v, want 33", run.TotalTime())
+	}
+}
+
+func TestStreamsSerializeWithinOneStream(t *testing.T) {
+	p := ir.NewBuilder("ss").
+		Func("main", "m.cu", 1, func(b *ir.Body) {
+			b.AsyncKernel("k1", 2, ir.Const(50), 1)
+			b.AsyncKernel("k2", 3, ir.Const(50), 1) // same stream: serialized
+			b.DeviceSync(4, 1)
+		}).MustBuild()
+	run := mustRun(t, p, Config{NRanks: 1, GPULaunchOverhead: 1})
+	if run.TotalTime() < 100 {
+		t.Errorf("same-stream kernels overlapped: %v", run.TotalTime())
+	}
+	// Two streams overlap.
+	p2 := ir.NewBuilder("ds2").
+		Func("main", "m.cu", 1, func(b *ir.Body) {
+			b.AsyncKernel("k1", 2, ir.Const(50), 1)
+			b.AsyncKernel("k2", 3, ir.Const(50), 2)
+			b.DeviceSync(4, -1)
+		}).MustBuild()
+	run2 := mustRun(t, p2, Config{NRanks: 1, GPULaunchOverhead: 1})
+	if run2.TotalTime() > 60 {
+		t.Errorf("two-stream kernels serialized: %v", run2.TotalTime())
+	}
+}
+
+func TestJacobiGPUOverlapWins(t *testing.T) {
+	naive := mustRun(t, workloads.JacobiGPU(false), Config{NRanks: 4})
+	over := mustRun(t, workloads.JacobiGPU(true), Config{NRanks: 4})
+	if over.TotalTime() >= naive.TotalTime() {
+		t.Errorf("overlapped Jacobi (%v) should beat the naive variant (%v)",
+			over.TotalTime(), naive.TotalTime())
+	}
+}

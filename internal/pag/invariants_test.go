@@ -1,0 +1,153 @@
+package pag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perflow/internal/graph"
+	"perflow/internal/ir"
+	"perflow/internal/mpisim"
+	"perflow/internal/trace"
+)
+
+// Conservation invariants of performance-data embedding: no time appears
+// or disappears between the event streams and the PAG.
+
+// sumEvents returns the total duration, wait and count of rank-level events.
+func sumEvents(run *trace.Run, pred func(*trace.Event) bool) (dur, wait, count float64) {
+	run.ForEach(func(e *trace.Event) {
+		if pred != nil && !pred(e) {
+			return
+		}
+		dur += e.Dur()
+		wait += e.Wait
+		count++
+	})
+	return
+}
+
+func TestEmbeddingConservesExclusiveTime(t *testing.T) {
+	p := testProgram(t)
+	run := testRun(t, p, 4)
+	td := BuildTopDown(p)
+	td.EmbedRun(run, PMUModel{})
+
+	var pagSum, pagWait, pagCount float64
+	for i := 0; i < td.G.NumVertices(); i++ {
+		v := td.G.Vertex(graph.VertexID(i))
+		pagSum += v.Metric(MetricExclTime)
+		pagWait += v.Metric(MetricWait)
+		pagCount += v.Metric(MetricCount)
+	}
+	evDur, evWait, evCount := sumEvents(run, nil)
+	if math.Abs(pagSum-evDur) > 1e-6*math.Max(1, evDur) {
+		t.Errorf("exclusive time not conserved: PAG %.3f vs events %.3f", pagSum, evDur)
+	}
+	if math.Abs(pagWait-evWait) > 1e-6*math.Max(1, evWait) {
+		t.Errorf("wait not conserved: PAG %.3f vs events %.3f", pagWait, evWait)
+	}
+	if pagCount != evCount {
+		t.Errorf("count not conserved: PAG %.0f vs events %.0f", pagCount, evCount)
+	}
+}
+
+func TestParallelViewConservesTime(t *testing.T) {
+	p := testProgram(t)
+	run := testRun(t, p, 4)
+	pv := BuildParallel(run)
+	var pagSum float64
+	for i := 0; i < pv.G.NumVertices(); i++ {
+		pagSum += pv.G.Vertex(graph.VertexID(i)).Metric(MetricExclTime)
+	}
+	evDur, _, _ := sumEvents(run, nil)
+	if math.Abs(pagSum-evDur) > 1e-6*math.Max(1, evDur) {
+		t.Errorf("parallel view time not conserved: %.3f vs %.3f", pagSum, evDur)
+	}
+}
+
+// Property: for random imbalance shapes, the per-rank vectors of the
+// embedded top-down view sum to each rank's recorded rank-level time.
+func TestEmbeddingPerRankVectorProperty(t *testing.T) {
+	f := func(skewRaw, ranksRaw uint8) bool {
+		skew := float64(skewRaw%5) + 1
+		ranks := int(ranksRaw%6) + 2
+		p, err := ir.NewBuilder("prop").
+			Func("main", "m.c", 1, func(b *ir.Body) {
+				b.Compute("w", 2, ir.Expr{Base: 10, Factor: map[int]float64{0: skew}})
+				b.Isend(3, ir.Peer{Kind: ir.PeerRight}, ir.Const(256), 0, "s")
+				b.Irecv(4, ir.Peer{Kind: ir.PeerLeft}, ir.Const(256), 0, "r")
+				b.Waitall(5)
+				b.Allreduce(6, ir.Const(8))
+			}).Build()
+		if err != nil {
+			return false
+		}
+		run, err := mpisim.Run(p, mpisim.Config{NRanks: ranks})
+		if err != nil {
+			return false
+		}
+		td := BuildTopDown(p)
+		td.EmbedRun(run, PMUModel{})
+
+		mainV := td.G.Vertex(td.VertexOf(p.Function("main").ID()))
+		vec := mainV.Vec(MetricTime + "_vec")
+		for r := 0; r < ranks; r++ {
+			var rankDur float64
+			for _, e := range run.Events[r] {
+				if e.Thread < 0 {
+					rankDur += e.Dur()
+				}
+			}
+			var got float64
+			if r < len(vec) {
+				got = vec[r]
+			}
+			if math.Abs(got-rankDur) > 1e-6*math.Max(1, rankDur) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every flow vertex of the parallel view belongs to exactly the
+// rank recorded in its metric, and flow edges never jump ranks unless
+// labelled inter-process or inter-thread.
+func TestParallelViewEdgeDisciplineProperty(t *testing.T) {
+	f := func(ranksRaw uint8) bool {
+		ranks := int(ranksRaw%6) + 2
+		p, err := ir.NewBuilder("disc").
+			Func("main", "m.c", 1, func(b *ir.Body) {
+				b.Compute("w", 2, ir.Const(5))
+				b.Isend(3, ir.Peer{Kind: ir.PeerRight}, ir.Const(128), 0, "s")
+				b.Irecv(4, ir.Peer{Kind: ir.PeerLeft}, ir.Const(128), 0, "r")
+				b.Waitall(5)
+				b.Barrier(6)
+			}).Build()
+		if err != nil {
+			return false
+		}
+		run, err := mpisim.Run(p, mpisim.Config{NRanks: ranks})
+		if err != nil {
+			return false
+		}
+		pv := BuildParallel(run)
+		for i := 0; i < pv.G.NumEdges(); i++ {
+			e := pv.G.Edge(graph.EdgeID(i))
+			src := pv.G.Vertex(e.Src)
+			dst := pv.G.Vertex(e.Dst)
+			if e.Label == EdgeIntraProc &&
+				src.Metric(MetricRank) != dst.Metric(MetricRank) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,352 @@
+package pag
+
+import (
+	"fmt"
+	"sort"
+
+	"perflow/internal/graph"
+	"perflow/internal/ir"
+	"perflow/internal/trace"
+)
+
+// BuildParallel constructs the parallel view of the PAG (paper §3.4,
+// Figure 5) from a recorded run:
+//
+//  1. one flow per process and per thread — the sequence of vertices the
+//     flow visited, in time order, with repeated visits to the same code
+//     aggregated into a single vertex carrying counts and times;
+//  2. intra-flow edges linking consecutive vertices of each flow;
+//  3. inter-thread edges from a parallel-region vertex to each of its
+//     thread flows and from thread flows back to the join point;
+//  4. inter-process edges for every recorded message, rendezvous and
+//     collective dependence, and inter-thread edges through synthetic
+//     resource vertices for lock contention (the shape the contention-
+//     detection pattern matches).
+func BuildParallel(run *trace.Run) *PAG {
+	p := &PAG{
+		G:        graph.New(1024, 2048),
+		Prog:     run.Program,
+		View:     Parallel,
+		NRanks:   run.NRanks,
+		NThreads: run.ThreadsPerRank,
+		flowIdx:  make(map[FlowKey]graph.VertexID, 1024),
+	}
+
+	b := &parallelBuilder{p: p, run: run,
+		lastInFlow: map[flowID]graph.VertexID{},
+		streams:    map[flowID][]graph.VertexID{},
+		streamSet:  map[flowID]map[graph.VertexID]bool{},
+	}
+	for rank := range run.Events {
+		b.buildRankFlows(int32(rank))
+	}
+	b.addSyncEdges()
+	b.addResourceVertices()
+	return p
+}
+
+// flowID identifies one flow (rank-level when thread == -1).
+type flowID struct {
+	rank   int32
+	thread int32
+}
+
+type parallelBuilder struct {
+	p   *PAG
+	run *trace.Run
+
+	lastInFlow map[flowID]graph.VertexID
+	streams    map[flowID][]graph.VertexID
+	streamSet  map[flowID]map[graph.VertexID]bool
+
+	// pendingJoins are thread-flow tails waiting for the next rank-level
+	// vertex to join to.
+	pendingJoins []graph.VertexID
+}
+
+func (b *parallelBuilder) inStream(fid flowID, v graph.VertexID) bool {
+	return b.streamSet[fid][v]
+}
+
+func (b *parallelBuilder) markInStream(fid flowID, v graph.VertexID) {
+	set := b.streamSet[fid]
+	if set == nil {
+		set = map[graph.VertexID]bool{}
+		b.streamSet[fid] = set
+	}
+	set[v] = true
+}
+
+// vertexFor returns (creating if needed) the flow vertex for an event's
+// (rank, thread, node).
+func (b *parallelBuilder) vertexFor(rank, thread int32, node ir.NodeID) graph.VertexID {
+	k := FlowKey{Rank: rank, Thread: thread, Node: node}
+	if v, ok := b.p.flowIdx[k]; ok {
+		return v
+	}
+	n := b.run.Program.Node(node)
+	var id graph.VertexID
+	if n != nil {
+		id = b.p.addIRVertex(n)
+	} else {
+		id = b.p.G.AddVertex(fmt.Sprintf("node%d", node), VertexCompute)
+		b.p.nodeOf = append(b.p.nodeOf, node)
+	}
+	v := b.p.G.Vertex(id)
+	v.SetMetric(MetricRank, float64(rank))
+	v.SetMetric(MetricThread, float64(thread))
+	b.p.flowIdx[k] = id
+	return id
+}
+
+// buildRankFlows walks one rank's event stream in order, extending the
+// rank-level flow and any thread flows, and wiring fork/join edges around
+// parallel regions.
+func (b *parallelBuilder) buildRankFlows(rank int32) {
+	evs := b.run.Events[rank]
+	for i := range evs {
+		e := &evs[i]
+		fid := flowID{rank: rank, thread: e.Thread}
+		v := b.vertexFor(rank, e.Thread, e.Node)
+		b.accumulate(v, e)
+
+		// A flow is the sequence of DISTINCT vertices in first-visit order
+		// (the paper's pre-order traversal): repeated visits from loop
+		// iterations aggregate into the existing vertex and add no edge, so
+		// flows stay acyclic.
+		if !b.inStream(fid, v) {
+			if last, seen := b.lastInFlow[fid]; seen && last != v {
+				b.ensureEdge(last, v, EdgeIntraProc)
+			}
+			b.streams[fid] = append(b.streams[fid], v)
+			b.markInStream(fid, v)
+		}
+		b.lastInFlow[fid] = v
+
+		if e.Thread >= 0 {
+			// First event of a thread flow hangs off nothing yet; the
+			// region event (emitted after its thread events) forks to it.
+			continue
+		}
+		// A rank-level event: if this is a region, fork to the thread flows
+		// recorded since the previous rank-level event; any pending thread
+		// tails join here first.
+		for _, tail := range b.pendingJoins {
+			b.ensureEdge(tail, v, EdgeInterThread)
+		}
+		b.pendingJoins = b.pendingJoins[:0]
+		if e.Kind == trace.KindRegion {
+			b.forkJoinRegion(rank, v, i, evs)
+		}
+	}
+}
+
+// forkJoinRegion adds fork edges from the region vertex to the first vertex
+// of each thread flow whose events lie inside the region span, and queues
+// their last vertices for joining to the next rank-level vertex.
+func (b *parallelBuilder) forkJoinRegion(rank int32, regionV graph.VertexID, regionIdx int, evs []trace.Event) {
+	region := &evs[regionIdx]
+	firstOf := map[int32]graph.VertexID{}
+	lastOf := map[int32]graph.VertexID{}
+	for i := regionIdx - 1; i >= 0; i-- {
+		e := &evs[i]
+		if e.Thread < 0 {
+			break // previous rank-level event: past the region's thread block
+		}
+		if e.Start < region.Start-1e-9 {
+			break
+		}
+		v := b.p.flowIdx[FlowKey{Rank: rank, Thread: e.Thread, Node: e.Node}]
+		firstOf[e.Thread] = v // iterating backwards: last assignment wins = first event
+		if _, ok := lastOf[e.Thread]; !ok {
+			lastOf[e.Thread] = v
+		}
+	}
+	threads := make([]int32, 0, len(firstOf))
+	for t := range firstOf {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+	for _, t := range threads {
+		b.ensureEdge(regionV, firstOf[t], EdgeInterThread)
+		b.pendingJoins = append(b.pendingJoins, lastOf[t])
+	}
+}
+
+// accumulate folds an event's measurements into its flow vertex.
+func (b *parallelBuilder) accumulate(v graph.VertexID, e *trace.Event) {
+	vert := b.p.G.Vertex(v)
+	vert.AddMetric(MetricTime, e.Dur())
+	vert.AddMetric(MetricExclTime, e.Dur())
+	vert.AddMetric(MetricCount, 1)
+	if e.Wait > 0 {
+		vert.AddMetric(MetricWait, e.Wait)
+	}
+	if e.Bytes > 0 {
+		vert.AddMetric(MetricBytes, e.Bytes)
+	}
+}
+
+// ensureEdge adds an edge src -> dst with the label unless one exists, and
+// bumps its count metric.
+func (b *parallelBuilder) ensureEdge(src, dst graph.VertexID, label int) graph.EdgeID {
+	for _, eid := range b.p.G.OutEdges(src) {
+		e := b.p.G.Edge(eid)
+		if e.Dst == dst && e.Label == label {
+			e.SetMetric(MetricCount, e.Metric(MetricCount)+1)
+			return eid
+		}
+	}
+	eid := b.p.G.AddEdge(src, dst, label)
+	b.p.G.Edge(eid).SetMetric(MetricCount, 1)
+	return eid
+}
+
+// addSyncEdges materializes the recorded cross-flow dependences as
+// inter-process (messages, rendezvous, collectives) and inter-thread (lock)
+// edges, aggregating repeats and accumulating wait/bytes.
+func (b *parallelBuilder) addSyncEdges() {
+	for i := range b.run.Syncs {
+		se := &b.run.Syncs[i]
+		src := b.vertexFor(se.SrcRank, se.SrcThread, se.SrcNode)
+		dst := b.vertexFor(se.DstRank, se.DstThread, se.DstNode)
+		label := EdgeInterProcess
+		if se.Kind == trace.SyncLock {
+			label = EdgeInterThread
+		}
+		eid := b.ensureEdge(src, dst, label)
+		e := b.p.G.Edge(eid)
+		e.SetMetric(MetricWait, e.Metric(MetricWait)+se.Wait)
+		if se.Bytes > 0 {
+			e.SetMetric(MetricBytes, e.Metric(MetricBytes)+se.Bytes)
+		}
+		if se.Lock != "" {
+			e.SetAttr(AttrLock, se.Lock)
+		}
+	}
+}
+
+// addResourceVertices creates one synthetic resource vertex per contended
+// (rank, lock) pair and wires the contention shape the detection pattern
+// searches for: every contending flow vertex points at the resource, and
+// the resource points at the continuation of every delayed flow.
+func (b *parallelBuilder) addResourceVertices() {
+	type resKey struct {
+		rank int32
+		lock string
+	}
+	contributors := map[resKey]map[graph.VertexID]bool{}
+	waiters := map[resKey]map[graph.VertexID]float64{}
+	for i := range b.run.Syncs {
+		se := &b.run.Syncs[i]
+		if se.Kind != trace.SyncLock {
+			continue
+		}
+		k := resKey{rank: se.SrcRank, lock: se.Lock}
+		if contributors[k] == nil {
+			contributors[k] = map[graph.VertexID]bool{}
+			waiters[k] = map[graph.VertexID]float64{}
+		}
+		src := b.vertexFor(se.SrcRank, se.SrcThread, se.SrcNode)
+		dst := b.vertexFor(se.DstRank, se.DstThread, se.DstNode)
+		contributors[k][src] = true
+		contributors[k][dst] = true
+		waiters[k][dst] += se.Wait
+	}
+	keys := make([]resKey, 0, len(contributors))
+	for k := range contributors {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].lock < keys[j].lock
+	})
+	for _, k := range keys {
+		rid := b.p.G.AddVertex(k.lock, VertexResource)
+		rv := b.p.G.Vertex(rid)
+		rv.SetAttr(AttrLock, k.lock)
+		rv.SetMetric(MetricRank, float64(k.rank))
+		rv.SetMetric(MetricThread, -1)
+		b.p.nodeOf = append(b.p.nodeOf, ir.NoNode)
+
+		ins := sortedVertexSet(contributors[k])
+		for _, c := range ins {
+			b.ensureEdge(c, rid, EdgeInterThread)
+		}
+		for _, w := range sortedWaiters(waiters[k]) {
+			next := b.continuation(w)
+			if next == graph.NoVertex {
+				next = w
+			}
+			if next != rid {
+				eid := b.ensureEdge(rid, next, EdgeInterThread)
+				e := b.p.G.Edge(eid)
+				e.SetMetric(MetricWait, e.Metric(MetricWait)+waiters[k][w])
+			}
+			rv.AddMetric(MetricWait, waiters[k][w])
+		}
+	}
+}
+
+// continuation returns the vertex following v in its flow stream. For a
+// thread-flow tail it follows the join edge to the rank-level vertex after
+// the parallel region; NoVertex if v is the very end of its flow.
+func (b *parallelBuilder) continuation(v graph.VertexID) graph.VertexID {
+	vert := b.p.G.Vertex(v)
+	fid := flowID{rank: int32(vert.Metric(MetricRank)), thread: int32(vert.Metric(MetricThread))}
+	stream := b.streams[fid]
+	for i, s := range stream {
+		if s == v {
+			if i+1 < len(stream) {
+				return stream[i+1]
+			}
+			break
+		}
+	}
+	// Flow tail: the join edge added when the next rank-level event appeared
+	// points at the continuation.
+	for _, eid := range b.p.G.OutEdges(v) {
+		e := b.p.G.Edge(eid)
+		if e.Label == EdgeInterThread && int32(b.p.G.Vertex(e.Dst).Metric(MetricThread)) == -1 {
+			return e.Dst
+		}
+	}
+	return graph.NoVertex
+}
+
+func sortedVertexSet(m map[graph.VertexID]bool) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedWaiters(m map[graph.VertexID]float64) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContentionPattern returns the candidate subgraph of Listing 6 in the
+// paper: two contributors feeding a resource vertex that delays two
+// continuations — the shape searched by the contention-detection pass.
+func ContentionPattern() *graph.Graph {
+	q := graph.New(5, 4)
+	q.AddVertex("A", graph.WildcardLabel)
+	q.AddVertex("B", graph.WildcardLabel)
+	q.AddVertex("C", VertexResource)
+	q.AddVertex("D", graph.WildcardLabel)
+	q.AddVertex("E", graph.WildcardLabel)
+	q.AddEdge(0, 2, EdgeInterThread)
+	q.AddEdge(1, 2, EdgeInterThread)
+	q.AddEdge(2, 3, EdgeInterThread)
+	q.AddEdge(2, 4, EdgeInterThread)
+	return q
+}

@@ -1,0 +1,285 @@
+package threadsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perflow/internal/ir"
+	"perflow/internal/trace"
+)
+
+// buildRegion constructs a program whose main contains a single parallel
+// region populated by build, and returns the program and region.
+func buildRegion(t *testing.T, threads int, workshare bool, build func(*ir.Body)) (*ir.Program, *ir.Parallel) {
+	t.Helper()
+	p, err := ir.NewBuilder("t").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Parallel("region", 2, threads, workshare, ir.ModelOpenMP, build)
+		}).Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p, p.Function("main").Body[0].(*ir.Parallel)
+}
+
+func sim(t *testing.T, p *ir.Program, r *ir.Parallel, threads int) *Result {
+	t.Helper()
+	cct := trace.NewCCT()
+	res, err := Simulate(p, r, 0, 4, threads, cct, trace.NoCtx, 0)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return res
+}
+
+func TestWorkshareDividesCost(t *testing.T) {
+	p, r := buildRegion(t, 4, true, func(b *ir.Body) {
+		b.Compute("work", 3, ir.Const(100))
+	})
+	res := sim(t, p, r, 4)
+	if math.Abs(res.Elapsed-25) > 1e-9 {
+		t.Errorf("workshare elapsed = %v, want 25", res.Elapsed)
+	}
+	if len(res.Events) != 4 {
+		t.Errorf("events = %d, want one per thread", len(res.Events))
+	}
+}
+
+func TestReplicatedCost(t *testing.T) {
+	p, r := buildRegion(t, 4, false, func(b *ir.Body) {
+		b.Compute("work", 3, ir.Const(100))
+	})
+	res := sim(t, p, r, 4)
+	if math.Abs(res.Elapsed-100) > 1e-9 {
+		t.Errorf("replicated elapsed = %v, want 100", res.Elapsed)
+	}
+}
+
+func TestRegionThreadsOverride(t *testing.T) {
+	p, r := buildRegion(t, 2, true, func(b *ir.Body) {
+		b.Compute("work", 3, ir.Const(100))
+	})
+	// Region says 2 threads; simulate asks for 8 — region wins.
+	res := sim(t, p, r, 8)
+	if math.Abs(res.Elapsed-50) > 1e-9 {
+		t.Errorf("elapsed = %v, want 50 (2 threads)", res.Elapsed)
+	}
+}
+
+func TestAllocContentionSerializes(t *testing.T) {
+	// 4 threads, each doing 10 allocator calls of 1µs: total serialized
+	// work is 40µs, so the region cannot finish before 40µs even though
+	// each thread has only 10µs of its own lock work.
+	p, r := buildRegion(t, 4, false, func(b *ir.Body) {
+		b.Alloc(ir.AllocAlloc, 3, ir.Const(10), ir.Const(1))
+	})
+	res := sim(t, p, r, 4)
+	if res.Elapsed < 40-1e-9 {
+		t.Errorf("elapsed = %v, want >= 40 (full serialization)", res.Elapsed)
+	}
+	if res.LockWait <= 0 {
+		t.Error("expected nonzero lock wait")
+	}
+	var allocEvents int
+	for _, e := range res.Events {
+		if e.Kind == trace.KindAlloc {
+			allocEvents++
+			if e.Count != 10 {
+				t.Errorf("alloc batch count = %d, want 10", e.Count)
+			}
+		}
+	}
+	if allocEvents != 4 {
+		t.Errorf("alloc events = %d, want 4", allocEvents)
+	}
+}
+
+func TestContentionGrowsWithThreads(t *testing.T) {
+	// The Vite inversion: more threads means a LONGER region when the body
+	// is dominated by serialized allocator traffic.
+	elapsed := func(threads int) float64 {
+		p, err := ir.NewBuilder("t").
+			Func("main", "m.c", 1, func(b *ir.Body) {
+				b.Parallel("region", 2, 0, true, ir.ModelOpenMP, func(pb *ir.Body) {
+					pb.Compute("work", 3, ir.Const(100))
+					pb.Alloc(ir.AllocAlloc, 4, ir.Const(50), ir.Const(2))
+				})
+			}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := p.Function("main").Body[0].(*ir.Parallel)
+		cct := trace.NewCCT()
+		res, err := Simulate(p, r, 0, 4, threads, cct, trace.NoCtx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	e2, e8 := elapsed(2), elapsed(8)
+	if e8 <= e2 {
+		t.Errorf("8 threads (%v) should be slower than 2 threads (%v) under allocator contention", e8, e2)
+	}
+}
+
+func TestMutexSeparateLocksDoNotContend(t *testing.T) {
+	// Each thread uses the same two DIFFERENT locks in sequence; since both
+	// threads interleave, per-lock serialization still applies, but two
+	// distinct locks with disjoint holders run in parallel. Compare one
+	// shared lock vs distinct allocations of work.
+	shared := func() float64 {
+		p, r := buildRegion(t, 2, false, func(b *ir.Body) {
+			b.Mutex("L", 3, ir.Const(5), ir.Const(2))
+		})
+		return sim(t, p, r, 2).Elapsed
+	}()
+	if shared < 20-1e-9 { // 2 threads x 5 acquisitions x 2µs serialized
+		t.Errorf("shared lock elapsed = %v, want >= 20", shared)
+	}
+}
+
+func TestLoopMultipliesInsideRegion(t *testing.T) {
+	p, r := buildRegion(t, 1, false, func(b *ir.Body) {
+		b.Loop("l", 3, ir.Const(5), func(lb *ir.Body) {
+			lb.Compute("w", 4, ir.Const(2))
+		})
+	})
+	res := sim(t, p, r, 1)
+	if math.Abs(res.Elapsed-10) > 1e-9 {
+		t.Errorf("loop elapsed = %v, want 10", res.Elapsed)
+	}
+}
+
+func TestBranchInsideRegion(t *testing.T) {
+	p, r := buildRegion(t, 1, false, func(b *ir.Body) {
+		b.Branch("on", 3, ir.Const(1), func(bb *ir.Body) {
+			bb.Compute("w", 4, ir.Const(7))
+		})
+		b.Branch("off", 5, ir.Const(0), func(bb *ir.Body) {
+			bb.Compute("w", 6, ir.Const(100))
+		})
+	})
+	res := sim(t, p, r, 1)
+	if math.Abs(res.Elapsed-7) > 1e-9 {
+		t.Errorf("branch elapsed = %v, want 7", res.Elapsed)
+	}
+}
+
+func TestCallExpansionInsideRegion(t *testing.T) {
+	p, err := ir.NewBuilder("t").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Parallel("region", 2, 1, false, ir.ModelOpenMP, func(pb *ir.Body) {
+				pb.Call("helper", 3)
+				pb.ExternalCall("memset", 4, ir.Const(2))
+			})
+		}).
+		Func("helper", "h.c", 1, func(b *ir.Body) {
+			b.Compute("w", 2, ir.Const(5))
+		}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Function("main").Body[0].(*ir.Parallel)
+	res := sim(t, p, r, 1)
+	if math.Abs(res.Elapsed-7) > 1e-9 {
+		t.Errorf("elapsed = %v, want 7 (5 callee + 2 external)", res.Elapsed)
+	}
+}
+
+func TestCommInsideRegionRejected(t *testing.T) {
+	// Build without the validator seeing a problem (peer present), then
+	// the simulator must reject MPI inside threads.
+	p, err := ir.NewBuilder("t").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Parallel("region", 2, 2, false, ir.ModelOpenMP, func(pb *ir.Body) {
+				pb.Barrier(3)
+			})
+		}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Function("main").Body[0].(*ir.Parallel)
+	_, err = Simulate(p, r, 0, 4, 2, trace.NewCCT(), trace.NoCtx, 0)
+	if err == nil || !strings.Contains(err.Error(), "MPI") {
+		t.Errorf("expected MPI-in-region error, got %v", err)
+	}
+}
+
+func TestEventTimesAbsoluteAndOrdered(t *testing.T) {
+	p, r := buildRegion(t, 2, false, func(b *ir.Body) {
+		b.Compute("a", 3, ir.Const(4))
+		b.Compute("b", 4, ir.Const(6))
+	})
+	cct := trace.NewCCT()
+	res, err := Simulate(p, r, 1, 4, 2, cct, trace.NoCtx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Events {
+		if e.Start < 100 {
+			t.Errorf("event start %v not offset by region start", e.Start)
+		}
+		if e.End < e.Start {
+			t.Errorf("event ends before it starts: %+v", e)
+		}
+		if e.Rank != 1 {
+			t.Errorf("event rank = %d, want 1", e.Rank)
+		}
+	}
+}
+
+func TestContextsRecorded(t *testing.T) {
+	p, r := buildRegion(t, 1, false, func(b *ir.Body) {
+		b.Loop("l", 3, ir.Const(2), func(lb *ir.Body) {
+			lb.Compute("w", 4, ir.Const(1))
+		})
+	})
+	cct := trace.NewCCT()
+	res, err := Simulate(p, r, 0, 4, 1, cct, trace.NoCtx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 1 {
+		t.Fatalf("events = %d", len(res.Events))
+	}
+	path := cct.Path(res.Events[0].Ctx)
+	// Path should be loop -> compute (the region ctx was NoCtx).
+	if len(path) != 2 {
+		t.Fatalf("ctx path = %v", path)
+	}
+	if p.Node(path[0]).Kind() != "loop" || p.Node(path[1]).Kind() != "compute" {
+		t.Errorf("ctx path kinds wrong: %v", path)
+	}
+}
+
+// Property: elapsed time of a contended region is at least total serialized
+// lock hold time and at least the longest single-thread work, and lock wait
+// is non-negative.
+func TestElapsedBoundsProperty(t *testing.T) {
+	f := func(threadsRaw, countRaw, holdRaw uint8) bool {
+		threads := int(threadsRaw%7) + 2
+		count := int(countRaw%20) + 1
+		hold := float64(holdRaw%9)/2 + 0.5
+		p, err := ir.NewBuilder("t").
+			Func("main", "m.c", 1, func(b *ir.Body) {
+				b.Parallel("region", 2, threads, false, ir.ModelOpenMP, func(pb *ir.Body) {
+					pb.Alloc(ir.AllocAlloc, 3, ir.Const(float64(count)), ir.Const(hold))
+				})
+			}).Build()
+		if err != nil {
+			return false
+		}
+		r := p.Function("main").Body[0].(*ir.Parallel)
+		res, err := Simulate(p, r, 0, 2, threads, trace.NewCCT(), trace.NoCtx, 0)
+		if err != nil {
+			return false
+		}
+		serialized := float64(threads*count) * hold
+		return res.Elapsed >= serialized-1e-6 && res.LockWait >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

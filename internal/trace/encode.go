@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+
+	"perflow/internal/ir"
+)
+
+// Binary trace encoding. The Scalasca-like baseline writes full event
+// streams to measure tracing storage cost (the paper's §5.3 comparison:
+// 57.64 GB of traces vs 2.4 MB of PAG); this encoder defines what "storage
+// cost of a trace" means in this repo.
+
+const (
+	traceMagic   = 0x54524331 // "TRC1"
+	traceVersion = 1
+	// eventWireSize is the fixed per-event payload: rank(4) thread(4)
+	// kind(1) op(1) node(4) ctx(4) start(8) end(8) wait(8) peer(4)
+	// bytes(8) count(4).
+	eventWireSize = 58
+)
+
+// EncodedSize returns the exact number of bytes Encode would write,
+// without writing them.
+func (r *Run) EncodedSize() int64 {
+	return int64(16) + int64(r.NumEvents())*eventWireSize + int64(len(r.Events))*4
+}
+
+// Encode writes the run's event streams to w and returns the byte count.
+func (r *Run) Encode(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var buf [eventWireSize]byte
+	put := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf[0:], traceMagic)
+	binary.LittleEndian.PutUint32(buf[4:], traceVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(r.Events)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(r.NRanks))
+	if err := put(buf[:16]); err != nil {
+		return n, err
+	}
+	for _, evs := range r.Events {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(len(evs)))
+		if err := put(buf[:4]); err != nil {
+			return n, err
+		}
+		for i := range evs {
+			e := &evs[i]
+			binary.LittleEndian.PutUint32(buf[0:], uint32(e.Rank))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(e.Thread))
+			buf[8] = byte(e.Kind)
+			buf[9] = byte(e.Op)
+			binary.LittleEndian.PutUint32(buf[10:], uint32(e.Node))
+			binary.LittleEndian.PutUint32(buf[14:], uint32(e.Ctx))
+			binary.LittleEndian.PutUint64(buf[18:], math.Float64bits(e.Start))
+			binary.LittleEndian.PutUint64(buf[26:], math.Float64bits(e.End))
+			binary.LittleEndian.PutUint64(buf[34:], math.Float64bits(e.Wait))
+			binary.LittleEndian.PutUint32(buf[42:], uint32(e.Peer))
+			binary.LittleEndian.PutUint64(buf[46:], math.Float64bits(e.Bytes))
+			binary.LittleEndian.PutUint32(buf[54:], uint32(e.Count))
+			if err := put(buf[:eventWireSize]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Decode reads event streams previously written by Encode. The CCT and
+// program references are not part of the wire format and are left nil.
+func Decode(r io.Reader) (*Run, error) {
+	br := bufio.NewReader(r)
+	var buf [eventWireSize]byte
+	if _, err := io.ReadFull(br, buf[:16]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != traceMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if binary.LittleEndian.Uint32(buf[4:]) != traceVersion {
+		return nil, errors.New("trace: unsupported version")
+	}
+	nStreams := binary.LittleEndian.Uint32(buf[8:])
+	run := &Run{NRanks: int(binary.LittleEndian.Uint32(buf[12:]))}
+	if nStreams > 1<<20 {
+		return nil, errors.New("trace: implausible stream count")
+	}
+	run.Events = make([][]Event, nStreams)
+	for s := range run.Events {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, err
+		}
+		cnt := binary.LittleEndian.Uint32(buf[0:])
+		if cnt > 1<<28 {
+			return nil, errors.New("trace: implausible event count")
+		}
+		evs := make([]Event, cnt)
+		for i := range evs {
+			if _, err := io.ReadFull(br, buf[:eventWireSize]); err != nil {
+				return nil, err
+			}
+			evs[i] = Event{
+				Rank:   int32(binary.LittleEndian.Uint32(buf[0:])),
+				Thread: int32(binary.LittleEndian.Uint32(buf[4:])),
+				Kind:   Kind(buf[8]),
+				Op:     ir.CommKind(buf[9]),
+				Node:   ir.NodeID(binary.LittleEndian.Uint32(buf[10:])),
+				Ctx:    CtxID(binary.LittleEndian.Uint32(buf[14:])),
+				Start:  math.Float64frombits(binary.LittleEndian.Uint64(buf[18:])),
+				End:    math.Float64frombits(binary.LittleEndian.Uint64(buf[26:])),
+				Wait:   math.Float64frombits(binary.LittleEndian.Uint64(buf[34:])),
+				Peer:   int32(binary.LittleEndian.Uint32(buf[42:])),
+				Bytes:  math.Float64frombits(binary.LittleEndian.Uint64(buf[46:])),
+				Count:  int32(binary.LittleEndian.Uint32(buf[54:])),
+			}
+		}
+		run.Events[s] = evs
+		for i := range evs {
+			if evs[i].End > 0 {
+				if len(run.Elapsed) <= int(evs[i].Rank) {
+					grown := make([]float64, int(evs[i].Rank)+1)
+					copy(grown, run.Elapsed)
+					run.Elapsed = grown
+				}
+				if evs[i].End > run.Elapsed[evs[i].Rank] {
+					run.Elapsed[evs[i].Rank] = evs[i].End
+				}
+			}
+		}
+	}
+	return run, nil
+}

@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perflow/internal/graph"
+	"perflow/internal/ir"
+	"perflow/internal/mpisim"
+	"perflow/internal/pag"
+	"perflow/internal/trace"
+	"perflow/internal/workloads"
+)
+
+func testRun(t *testing.T) *trace.Run {
+	t.Helper()
+	run, err := mpisim.Run(workloads.ZeusMP(false), mpisim.Config{NRanks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestTimelineRenders(t *testing.T) {
+	run := testRun(t)
+	var buf bytes.Buffer
+	Timeline(&buf, run, TimelineOptions{Width: 60, MaxRanks: 4})
+	out := buf.String()
+	if !strings.Contains(out, "timeline:") {
+		t.Fatal("missing header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + up to 4 rank rows (8 ranks, step 2).
+	if len(lines) != 5 {
+		t.Errorf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no compute glyphs")
+	}
+	if !strings.Contains(out, "p0") {
+		t.Error("no rank labels")
+	}
+}
+
+func TestTimelineShowsWaits(t *testing.T) {
+	// One rank overloaded; the others' collective glyphs become waits.
+	p := ir.NewBuilder("w").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Compute("work", 2, ir.Expr{Base: 100, Factor: map[int]float64{0: 10}})
+			b.Allreduce(3, ir.Const(8))
+		}).MustBuild()
+	run, err := mpisim.Run(p, mpisim.Config{NRanks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Timeline(&buf, run, TimelineOptions{Width: 60})
+	if !strings.Contains(buf.String(), "~") {
+		t.Errorf("no wait glyphs in:\n%s", buf.String())
+	}
+}
+
+func TestTimelineEmptyRun(t *testing.T) {
+	var buf bytes.Buffer
+	Timeline(&buf, &trace.Run{}, TimelineOptions{})
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty run not flagged")
+	}
+}
+
+func TestParallelViewRenders(t *testing.T) {
+	p := ir.NewBuilder("pvr").
+		Func("main", "m.c", 1, func(b *ir.Body) {
+			b.Compute("work", 2, ir.Expr{Base: 20, Factor: map[int]float64{0: 5}})
+			b.Isend(3, ir.Peer{Kind: ir.PeerRight}, ir.Const(512), 1, "s")
+			b.Irecv(4, ir.Peer{Kind: ir.PeerLeft}, ir.Const(512), 1, "r")
+			b.Waitall(5)
+			b.Allreduce(6, ir.Const(8))
+		}).MustBuild()
+	run, err := mpisim.Run(p, mpisim.Config{NRanks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := pag.BuildParallel(run)
+	hi := map[graph.VertexID]bool{}
+	hiE := map[graph.EdgeID]bool{}
+	// Highlight the waitall vertices and their incoming dependences.
+	for i := 0; i < pv.G.NumVertices(); i++ {
+		v := pv.G.Vertex(graph.VertexID(i))
+		if v.Name == "MPI_Waitall" {
+			hi[graph.VertexID(i)] = true
+			for _, eid := range pv.G.InEdges(graph.VertexID(i)) {
+				if pv.G.Edge(eid).Label == pag.EdgeInterProcess {
+					hiE[eid] = true
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	ParallelView(&buf, pv, ParallelViewOptions{Highlight: hi, HighlightEdges: hiE, MaxRanks: 4, MaxRows: 100})
+	out := buf.String()
+	for _, want := range []string{"process 0", "process 3", "[MPI_Waitall]", "dependences:", "==>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parallel view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParallelViewRejectsTopDown(t *testing.T) {
+	run := testRun(t)
+	td := pag.BuildTopDown(run.Program)
+	var buf bytes.Buffer
+	ParallelView(&buf, td, ParallelViewOptions{})
+	if !strings.Contains(buf.String(), "not a parallel view") {
+		t.Error("top-down view not rejected")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "time per rank", []float64{1, 4, 2, 0}, 20)
+	out := buf.String()
+	if !strings.Contains(out, "time per rank") || !strings.Contains(out, "█") {
+		t.Errorf("histogram malformed:\n%s", out)
+	}
+	var empty bytes.Buffer
+	Histogram(&empty, "zeros", []float64{0, 0}, 20)
+	if !strings.Contains(empty.String(), "zeros") {
+		t.Error("zero histogram should still print title")
+	}
+}

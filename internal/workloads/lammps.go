@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+
+	"perflow/internal/ir"
+)
+
+// genModuleFuncs appends generated "library module" functions to b. When
+// called is false the functions exist in the binary (and therefore in the
+// top-down PAG, which static analysis extracts) but are never invoked —
+// exactly like the many LAMMPS pair styles a given input never touches.
+// It returns the function names so callers can invoke them if desired.
+func genModuleFuncs(b *ir.Builder, prefix, file string, n, loops int, costUS float64) []string {
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		fname := fmt.Sprintf("%s_%d", prefix, i)
+		names[i] = fname
+		b.Func(fname, fmt.Sprintf("%s_%d.cpp", file, i), 1, func(fb *ir.Body) {
+			for l := 0; l < loops; l++ {
+				line := 10 + l*12
+				fb.Loop(fmt.Sprintf("loop_%d", l+1), line, ir.Const(8), func(lb *ir.Body) {
+					lb.Compute("body", line+1, ir.Expr{Base: costUS, Scaling: ir.ScaleInvP})
+					lb.Compute("gather", line+4, ir.Expr{Base: costUS / 3, Scaling: ir.ScaleInvP}).MemBytes = 48
+				})
+			}
+		})
+	}
+	return names
+}
+
+// LAMMPS builds the case-study-B model (§5.4): molecular dynamics with the
+// hybrid MPI+OpenMP model. The pair-force loop loop_1.1 in
+// PairLJCut::compute (pair_lj_cut.cpp:102-137) is imbalanced — processes
+// 0, 1 and 2 own denser sub-domains — and the blocking MPI_Send/MPI_Wait
+// in CommBrick::reverse_comm (comm_brick.cpp:544/547) propagate the delay
+// to every neighbor, making the communication calls look like the bugs.
+//
+// balanced applies the paper's fix (the `balance` command re-shapes
+// sub-domains every 250 steps), modeled as removing the low-rank skew.
+func LAMMPS(balanced bool) *ir.Program {
+	skew := 1.9
+	if balanced {
+		skew = 1.08 // residual imbalance between rebalancing steps
+	}
+
+	b := ir.NewBuilder("lammps").Meta(704.8, 14_670_000)
+
+	// The unused bulk of the package: other pair styles, fixes, dumps.
+	pairMods := genModuleFuncs(b, "pair_style", "pair_other", 96, 9, 40)
+	fixMods := genModuleFuncs(b, "fix_style", "fix_other", 40, 7, 30)
+
+	// PairLJCut::compute — the force kernel with the imbalanced loop_1.1.
+	b.Func("PairLJCut::compute", "pair_lj_cut.cpp", 95, func(fb *ir.Body) {
+		fb.Loop("loop_1", 100, ir.Const(64), func(l1 *ir.Body) {
+			l1.Loop("loop_1.1", 102, ir.Expr{Base: 40, Scaling: ir.ScaleInvP, FactorLowRanks: skew, FactorLowCount: 3}, func(l11 *ir.Body) {
+				l11.Compute("lj_force", 110, ir.Const(1.1)).Flops = 8
+			})
+		})
+	})
+
+	// Neighbor-list build, integrators.
+	b.Func("Neighbor::build", "neighbor.cpp", 300, func(fb *ir.Body) {
+		fb.Loop("loop_bins", 305, ir.Const(32), func(l *ir.Body) {
+			l.Compute("bin_atoms", 306, ir.Expr{Base: 45, Scaling: ir.ScaleInvP}).MemBytes = 64
+		})
+	})
+	b.Func("FixNVE::initial_integrate", "fix_nve.cpp", 70, func(fb *ir.Body) {
+		fb.Loop("loop_atoms", 75, ir.Const(16), func(l *ir.Body) {
+			l.Compute("verlet_half", 76, ir.Expr{Base: 40, Scaling: ir.ScaleInvP})
+		})
+	})
+
+	// CommBrick::forward_comm — ghost exchange before forces, non-blocking.
+	b.Func("CommBrick::forward_comm", "comm_brick.cpp", 480, func(fb *ir.Body) {
+		fb.Irecv(490, ir.Peer{Kind: ir.PeerHalo2D, Arg: 1}, ir.Expr{Base: 32768, Scaling: ir.ScaleInvSqrt}, 21, "fwd_r")
+		fb.Isend(492, ir.Peer{Kind: ir.PeerHalo2D, Arg: 0}, ir.Expr{Base: 32768, Scaling: ir.ScaleInvSqrt}, 21, "fwd_s")
+		fb.Waitall(495)
+	})
+
+	// CommBrick::reverse_comm — Listing 9: per-swap Irecv + blocking Send +
+	// Wait. The Send exceeds the eager threshold, so its rendezvous blocks
+	// until the (delayed) neighbor posts the receive.
+	b.Func("CommBrick::reverse_comm", "comm_brick.cpp", 530, func(fb *ir.Body) {
+		swaps := fb.Loop("loop_swaps", 540, ir.Const(2), func(l *ir.Body) {
+			l.Irecv(543, ir.Peer{Kind: ir.PeerHalo2D, Arg: 0}, ir.Expr{Base: 24576, Scaling: ir.ScaleInvSqrt}, 22, "rev_r")
+			l.Send(544, ir.Peer{Kind: ir.PeerHalo2D, Arg: 1}, ir.Expr{Base: 24576, Scaling: ir.ScaleInvSqrt}, 22)
+			l.Wait(547, "rev_r")
+		})
+		swaps.CommPerIter = true
+	})
+
+	b.Func("Verlet::run", "verlet.cpp", 250, func(fb *ir.Body) {
+		fb.Call("FixNVE::initial_integrate", 255)
+		fb.Call("CommBrick::forward_comm", 258)
+		fb.Call("Neighbor::build", 260)
+		fb.Call("PairLJCut::compute", 263)
+		fb.Call("CommBrick::reverse_comm", 266)
+		fb.Allreduce(270, ir.Const(48)) // thermo output reduction
+	})
+
+	b.Func("main", "main.cpp", 1, func(mb *ir.Body) {
+		mb.Compute("read_input", 5, ir.Const(300))
+		// Style registration touches a slice of the other modules once.
+		for i := 0; i < 20; i++ {
+			mb.Call(pairMods[i], 6)
+		}
+		for i := 0; i < 10; i++ {
+			mb.Call(fixMods[i], 7)
+		}
+		steps := mb.Loop("timestep_loop", 10, ir.Const(LAMMPSSteps), func(lb *ir.Body) {
+			lb.Call("Verlet::run", 12)
+		})
+		steps.CommPerIter = true
+	})
+	return b.MustBuild()
+}
+
+// LAMMPSSteps is the simulated timestep count; timesteps/s reporting
+// divides by the virtual makespan.
+const LAMMPSSteps = 8
+
+// TimestepsPerSecond converts a LAMMPS-model makespan (µs) to the paper's
+// throughput metric.
+func TimestepsPerSecond(totalUS float64) float64 {
+	if totalUS <= 0 {
+		return 0
+	}
+	return LAMMPSSteps / (totalUS / 1e6)
+}

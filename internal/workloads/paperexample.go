@@ -1,0 +1,46 @@
+package workloads
+
+import "perflow/internal/ir"
+
+// PaperExample builds the MPI+Pthreads example of the paper's Listing 2 —
+// the program behind Figure 3 (performance-data embedding), Figure 4
+// (top-down view construction) and Figure 5 (parallel view with
+// pthread_create flows):
+//
+//	void *add(void *) { ... }
+//	void foo() { pthread_create(..., add, ...); B; pthread_join(...); }
+//	int main() {
+//	  MPI_Init(...);
+//	  for (i = 0; i < K; i++) { A; foo(); }   // Loop_1
+//	  MPI_Allreduce(...); C;
+//	  MPI_Finalize();
+//	}
+func PaperExample() *ir.Program {
+	b := ir.NewBuilder("listing2").Meta(0.1, 18_000)
+
+	// foo spawns a thread running add (modeled as a pthread fan-out region
+	// whose body is the add work), does its own B, and joins.
+	b.Func("foo", "example.c", 10, func(fb *ir.Body) {
+		fb.Parallel("pthread_create", 12, 2, false, ir.ModelPthreads, func(pb *ir.Body) {
+			pb.Call("add", 12)
+		})
+		fb.Compute("B", 14, ir.Const(30))
+	})
+	b.Func("add", "example.c", 3, func(fb *ir.Body) {
+		fb.Loop("add_loop", 4, ir.Const(16), func(l *ir.Body) {
+			l.Compute("sum", 5, ir.Expr{Base: 2, Factor: map[int]float64{0: 3}})
+		})
+	})
+	b.Func("main", "example.c", 20, func(mb *ir.Body) {
+		mb.ExternalCall("MPI_Init", 22, ir.Const(5))
+		loop := mb.Loop("Loop_1", 24, ir.Const(4), func(l *ir.Body) {
+			l.Compute("A", 25, ir.Const(20))
+			l.Call("foo", 26)
+		})
+		loop.CommPerIter = true
+		mb.Allreduce(29, ir.Const(8))
+		mb.Compute("C", 30, ir.Const(15))
+		mb.ExternalCall("MPI_Finalize", 32, ir.Const(5))
+	})
+	return b.MustBuild()
+}

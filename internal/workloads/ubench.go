@@ -1,0 +1,30 @@
+package workloads
+
+import "perflow/internal/ir"
+
+// PthreadsUBench builds the multi-threaded micro-benchmark of the paper's
+// artifact evaluation (appendix A.3.2: "a critical path detection task ...
+// performed on a multi-threaded micro-benchmark (a Pthreads program)"):
+// a pthread fan-out whose threads interleave private computation with a
+// shared critical section, so the critical path of the run threads through
+// the lock while the balanced computation stays off it.
+func PthreadsUBench() *ir.Program {
+	b := ir.NewBuilder("pthreads-ubench").Meta(0.3, 28_000)
+
+	b.Func("worker", "ubench.c", 20, func(fb *ir.Body) {
+		fb.Loop("work_loop", 24, ir.Const(6), func(l *ir.Body) {
+			l.Compute("private_work", 25, ir.Const(40)).Flops = 4
+			l.Mutex("shared_counter", 28, ir.Const(12), ir.Const(3))
+			l.Compute("post_update", 31, ir.Const(8))
+		})
+	})
+
+	b.Func("main", "ubench.c", 1, func(mb *ir.Body) {
+		mb.Compute("setup", 4, ir.Const(50))
+		mb.Parallel("pthread_workers", 8, 4, false, ir.ModelPthreads, func(pb *ir.Body) {
+			pb.Call("worker", 9)
+		})
+		mb.Compute("teardown", 14, ir.Const(20))
+	})
+	return b.MustBuild()
+}

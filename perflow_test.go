@@ -1,0 +1,282 @@
+package perflow_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perflow"
+)
+
+func TestListing1CommunicationAnalysis(t *testing.T) {
+	// The paper's Listing 1, line for line:
+	//   pag = pflow.run(bin="./a.out", cmd="mpirun -np 4 ./a.out")
+	//   V_comm = pflow.filter(pag.V, name="MPI_*")
+	//   V_hot  = pflow.hotspot_detection(V_comm)
+	//   V_imb  = pflow.imbalance_analysis(V_hot)
+	//   V_bd   = pflow.breakdown_analysis(V_imb)
+	//   pflow.report(V_imb, V_bd, attrs)
+	pf := perflow.New()
+	res, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vComm := pf.Filter(perflow.TopDownSet(res), "MPI_*")
+	vHot := pf.HotspotDetection(vComm, 10)
+	vImb := pf.ImbalanceAnalysis(vHot, 1.1)
+	vBd := pf.BreakdownAnalysis(vHot)
+	var buf bytes.Buffer
+	attrs := []string{"name", "comm-info", "debug-info", "etime"}
+	if err := pf.ReportTo(&buf, attrs, vImb, vBd); err != nil {
+		t.Fatal(err)
+	}
+	if vComm.Len() == 0 || vHot.Len() == 0 || vBd.Len() == 0 {
+		t.Fatalf("pipeline degenerate: comm=%d hot=%d bd=%d", vComm.Len(), vHot.Len(), vBd.Len())
+	}
+	if !strings.Contains(buf.String(), "MPI_") {
+		t.Errorf("report missing MPI vertices:\n%s", buf.String())
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	pf := perflow.New()
+	if _, err := pf.RunWorkload("not-a-workload", perflow.RunOptions{}); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if _, err := pf.Run(nil, perflow.RunOptions{}); err == nil {
+		t.Error("nil program should error")
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	names := perflow.Workloads()
+	want := map[string]bool{"zeusmp": false, "lammps": false, "vite": false, "cg": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("workload %q not listed", n)
+		}
+	}
+}
+
+func TestRunDSL(t *testing.T) {
+	src := `program tiny
+func main file t.c line 1
+  compute work line 2 cost 100
+  mpi allreduce line 3 bytes 8
+end
+`
+	pf := perflow.New()
+	res, err := pf.RunDSL(strings.NewReader(src), perflow.RunOptions{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.TotalTime() <= 0 {
+		t.Error("DSL program did not run")
+	}
+	if _, err := pf.RunDSL(strings.NewReader("garbage"), perflow.RunOptions{}); err == nil {
+		t.Error("bad DSL should error")
+	}
+}
+
+func TestCustomPassInPerFlowGraph(t *testing.T) {
+	// A user-defined pass wired between built-ins, as §4.3 prescribes.
+	pf := perflow.New()
+	res, err := pf.RunWorkload("cg", perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := perflow.NewPerFlowGraph()
+	src := g.AddSource("pag", perflow.TopDownSet(res))
+	filter := g.AddPass(perflow.Passes.Filter("MPI_*"))
+	custom := g.AddPass(perflow.PassFunc{
+		PassName: "keep_isend_only",
+		NumIn:    1,
+		Fn: func(in []*perflow.Set) ([]*perflow.Set, error) {
+			return []*perflow.Set{in[0].FilterName("MPI_Isend")}, nil
+		},
+	})
+	hot := g.AddPass(perflow.Passes.Hotspot(perflow.MetricExclTime, 2))
+	g.Pipe(src, filter)
+	g.Pipe(filter, custom)
+	g.Pipe(custom, hot)
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := hot.Output()
+	if out.Len() == 0 {
+		t.Fatal("custom pipeline empty")
+	}
+	for _, n := range out.Names() {
+		if n != "MPI_Isend" {
+			t.Errorf("custom pass leaked %q", n)
+		}
+	}
+}
+
+func TestScalabilityParadigmFacade(t *testing.T) {
+	pf := perflow.New()
+	small, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := pf.ScalabilityAnalysisParadigm(small, large, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backtracked.Len() == 0 {
+		t.Error("no backtracked vertices")
+	}
+	// Needing the parallel view is enforced.
+	if _, err := pf.ScalabilityAnalysisParadigm(small, small, &buf); err == nil {
+		t.Error("missing parallel view should error")
+	}
+}
+
+func TestMPIProfilerFacade(t *testing.T) {
+	pf := perflow.New()
+	res, err := pf.RunWorkload("is", perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := pf.MPIProfilerParadigm(res)
+	if len(rows) == 0 {
+		t.Fatal("empty MPI profile")
+	}
+	var buf bytes.Buffer
+	perflow.WriteMPIProfile(&buf, rows)
+	if !strings.Contains(buf.String(), "MPI_") {
+		t.Error("profile text empty")
+	}
+}
+
+func TestCriticalPathFacade(t *testing.T) {
+	pf := perflow.New()
+	res, err := pf.RunWorkload("lu", perflow.RunOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cp, err := pf.CriticalPathParadigm(res, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() == 0 {
+		t.Error("empty critical path")
+	}
+	// Without parallel view it must refuse.
+	res2, _ := pf.RunWorkload("lu", perflow.RunOptions{Ranks: 2, SkipParallelView: true})
+	if _, err := pf.CriticalPathParadigm(res2, &buf); err == nil {
+		t.Error("critical path without parallel view should error")
+	}
+}
+
+func TestDOTFacade(t *testing.T) {
+	pf := perflow.New()
+	res, err := pf.RunWorkload("ep", perflow.RunOptions{Ranks: 2, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := pf.HotspotDetection(perflow.TopDownSet(res), 3)
+	dot := perflow.DOT(hot, "hot")
+	if !strings.Contains(dot, "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestNewFacadeAnalyses(t *testing.T) {
+	pf := perflow.New()
+	res, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: 8, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait-state classification.
+	ws := pf.WaitStateAnalysis(pf.Filter(perflow.TopDownSet(res), "MPI_*"))
+	if ws.Len() == 0 {
+		t.Error("no classified waits")
+	}
+	// Community analysis.
+	groups := pf.CommunityAnalysis(perflow.TopDownSet(res))
+	if len(groups) == 0 {
+		t.Error("no communities")
+	}
+	// Scaling-curve analysis across three scales.
+	var results []*perflow.Result
+	for _, ranks := range []int{4, 8, 16} {
+		r, err := pf.RunWorkload("zeusmp", perflow.RunOptions{Ranks: ranks, SkipParallelView: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	growing, err := pf.ScalingCurveAnalysis(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if growing.Len() == 0 {
+		t.Error("no growing vertices across the scaling curve")
+	}
+	// Timeline + JSON render without error.
+	var buf bytes.Buffer
+	perflow.WriteTimeline(&buf, res.Run)
+	if !strings.Contains(buf.String(), "timeline:") {
+		t.Error("timeline empty")
+	}
+	buf.Reset()
+	if err := perflow.WriteJSON(&buf, "t", ws); err != nil || !strings.Contains(buf.String(), "vertices") {
+		t.Errorf("json render failed: %v", err)
+	}
+}
+
+func TestSaveLoadPAGFacade(t *testing.T) {
+	pf := perflow.New()
+	res, err := pf.RunWorkload("is", perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/is.pag"
+	if err := perflow.SavePAG(res, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := perflow.LoadPAGResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotBefore := pf.HotspotDetection(perflow.TopDownSet(res), 5).Names()
+	hotAfter := pf.HotspotDetection(perflow.TopDownSet(loaded), 5).Names()
+	if len(hotBefore) != len(hotAfter) {
+		t.Fatalf("offline hotspots differ: %v vs %v", hotBefore, hotAfter)
+	}
+	for i := range hotBefore {
+		if hotBefore[i] != hotAfter[i] {
+			t.Errorf("offline hotspot %d: %q vs %q", i, hotBefore[i], hotAfter[i])
+		}
+	}
+	if _, err := perflow.LoadPAGResult(path + "-missing"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestGPUWorkloadFacade(t *testing.T) {
+	pf := perflow.New()
+	res, err := pf.RunWorkload("jacobi-gpu", perflow.RunOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := pf.Filter(perflow.TopDownSet(res), "interior_update")
+	if kernels.Len() != 1 {
+		t.Fatalf("kernel vertex missing")
+	}
+	if kernels.Vertex(0).Metric(perflow.MetricExclTime) <= 0 {
+		t.Error("kernel time not embedded")
+	}
+}
