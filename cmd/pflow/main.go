@@ -8,6 +8,7 @@
 //	pflow -workload zeusmp -ranks 64 -analysis profile
 //	pflow -workload zeusmp -ranks 64 -analysis comm
 //	pflow -workload zeusmp -ranks 8 -ranks2 64 -analysis scalability
+//	pflow -workload zeusmp -ranks 64 -analysis comm -trace
 //	pflow -workload vite -ranks 8 -threads 8 -analysis contention
 //	pflow -workload lu -ranks 16 -analysis critical
 //	pflow -dsl prog.pfl -ranks 4 -analysis hotspot -dot out.dot
@@ -34,6 +35,7 @@ func main() {
 		analysis = flag.String("analysis", "profile",
 			"analysis to run: profile | hotspot | comm | scalability | contention | critical | timeline | waitstates")
 		topN    = flag.Int("top", 10, "result count for hotspot-style analyses")
+		trace   = flag.Bool("trace", false, "after a paradigm analysis, print its per-pass execution trace")
 		dotOut  = flag.String("dot", "", "write the highlighted result graph in DOT format to this file")
 		savePAG = flag.String("save-pag", "", "after running, persist the top-down PAG to this file for offline analysis")
 		loadPAG = flag.String("load-pag", "", "skip running; analyze a previously saved PAG (profile/hotspot/comm/waitstates only)")
@@ -170,6 +172,14 @@ func main() {
 
 	default:
 		fail(fmt.Errorf("unknown analysis %q", *analysis))
+	}
+
+	if *trace {
+		if pf.LastTrace == nil {
+			fmt.Fprintln(os.Stderr, "pflow: -trace: this analysis does not run through the PerFlowGraph engine")
+		} else if err := perflow.WriteTrace(os.Stdout, pf.LastTrace); err != nil {
+			fail(err)
+		}
 	}
 
 	if *savePAG != "" {

@@ -66,25 +66,24 @@ func main() {
 		},
 	}
 
-	// Wire it into a PerFlowGraph between built-in passes.
+	// Wire it into a PerFlowGraph between built-in passes. Chain connects
+	// each pass's output port 0 to the next pass's input port 0 and returns
+	// the last node, so linear pipelines need no explicit Connect calls.
 	g := perflow.NewPerFlowGraph()
 	src := g.AddSource("pag", perflow.TopDownSet(res))
-	comm := g.AddPass(perflow.Passes.Filter("MPI_*"))
-	custom := g.AddPass(waitBound)
-	hot := g.AddPass(perflow.Passes.Hotspot(perflow.MetricWait, 5))
-	report := g.AddPass(perflow.Passes.Report(os.Stdout, "wait-bound communication",
+	hot := g.Chain(src, perflow.Passes.Filter("MPI_*"), waitBound,
+		perflow.Passes.Hotspot(perflow.MetricWait, 5))
+	g.Chain(hot, perflow.Passes.Report(os.Stdout, "wait-bound communication",
 		[]string{"name", "etime", "wait", "debug-info"}, 10))
-	g.Pipe(src, comm)
-	g.Pipe(comm, custom)
-	g.Pipe(custom, hot)
-	g.Pipe(hot, report)
-	if _, err := g.Run(); err != nil {
+	out, err := g.Run()
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Backtrack from the worst wait-bound vertex on the parallel view to
-	// show where the delay comes from.
-	worst := pf.Project(hot.Output().Top(1), res.Parallel)
+	// show where the delay comes from. Run returns a typed Results value;
+	// Output(node) is that node's first output set.
+	worst := pf.Project(out.Output(hot).Top(1), res.Parallel)
 	paths := pf.BacktrackingAnalysis(worst)
 	fmt.Println("\npropagation path of the worst wait:")
 	if err := pf.ReportTo(os.Stdout, []string{"name", "rank", "time", "debug-info"}, paths); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func TestCaseStudyAZeusMPScalability(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	res, err := ScalabilityAnalysis(small.TopDown, large.TopDown, large.Parallel, 12, &buf)
+	res, err := ScalabilityAnalysis(context.Background(), small.TopDown, large.TopDown, large.Parallel, 12, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestCriticalPathParadigm(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	cp, err := CriticalPathParadigm(res.Parallel, &buf)
+	cp, _, err := CriticalPathParadigm(context.Background(), res.Parallel, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestCommunicationAnalysisParadigm(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	imb, bd, err := CommunicationAnalysis(res.TopDown, 10, &buf)
+	imb, bd, _, err := CommunicationAnalysis(context.Background(), res.TopDown, 10, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestGPUCriticalPathParadigm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp, err := CriticalPathParadigm(res.Parallel, io.Discard)
+	cp, _, err := CriticalPathParadigm(context.Background(), res.Parallel, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestContentionParadigmFigure14(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	res, err := ContentionAnalysis(low.TopDown, high.TopDown, high.Parallel, 10, &buf)
+	res, err := ContentionAnalysis(context.Background(), low.TopDown, high.TopDown, high.Parallel, 10, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

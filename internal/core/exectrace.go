@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PassSpan is the instrumentation record of one pass execution: wall-clock
+// interval (relative to the run start), the worker that ran it, and the
+// vertex counts of its input and output sets — the engine-side observability
+// the paper's overhead accounting (Table 1) presumes.
+type PassSpan struct {
+	Node     int    // node id, in graph insertion order
+	Pass     string // pass name
+	Worker   int    // index of the worker-pool goroutine that ran the pass
+	Start    time.Duration
+	End      time.Duration
+	InSizes  []int  // vertex count per input set
+	OutSizes []int  // vertex count per output set
+	Err      string // non-empty when the pass failed
+}
+
+// Wall returns the span's duration.
+func (s PassSpan) Wall() time.Duration { return s.End - s.Start }
+
+// ExecutionTrace is the per-run instrumentation of a PerFlowGraph: one span
+// per executed pass plus pool-level totals. Retrieve it from Results.Trace
+// or PerFlowGraph.Trace, and render it with Write (the cmd/pflow -trace
+// flag).
+type ExecutionTrace struct {
+	Workers int           // worker-pool size of the run
+	Wall    time.Duration // end-to-end run duration
+	Spans   []PassSpan    // one per executed pass, ordered by start time
+}
+
+func newExecutionTrace(workers int, wall time.Duration, spans []PassSpan) *ExecutionTrace {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Node < spans[j].Node
+	})
+	return &ExecutionTrace{Workers: workers, Wall: wall, Spans: spans}
+}
+
+// Span returns the span of the first executed pass with the given name,
+// or nil.
+func (t *ExecutionTrace) Span(pass string) *PassSpan {
+	for i := range t.Spans {
+		if t.Spans[i].Pass == pass {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Busy returns the summed pass wall time — together with Wall it bounds the
+// achieved parallelism (Busy/Wall workers were active on average).
+func (t *ExecutionTrace) Busy() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Spans {
+		sum += s.Wall()
+	}
+	return sum
+}
+
+// MaxParallelism returns the largest number of passes that were in flight
+// simultaneously.
+func (t *ExecutionTrace) MaxParallelism() int {
+	type ev struct {
+		at    time.Duration
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(t.Spans))
+	for _, s := range t.Spans {
+		evs = append(evs, ev{s.Start, 1}, ev{s.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // close before open at the same instant
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Write renders the trace as an aligned text table: one row per pass with
+// worker id, start offset, duration and set sizes, followed by pool totals.
+func (t *ExecutionTrace) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== execution trace (%d workers, wall %s, busy %s, max parallel %d) ==\n",
+		t.Workers, fmtDur(t.Wall), fmtDur(t.Busy()), t.MaxParallelism()); err != nil {
+		return err
+	}
+	rows := [][]string{{"pass", "node", "worker", "start", "wall", "in", "out", "err"}}
+	for _, s := range t.Spans {
+		rows = append(rows, []string{
+			s.Pass,
+			fmt.Sprintf("%d", s.Node),
+			fmt.Sprintf("%d", s.Worker),
+			fmtDur(s.Start),
+			fmtDur(s.Wall()),
+			sizesString(s.InSizes),
+			sizesString(s.OutSizes),
+			s.Err,
+		})
+	}
+	writeAligned(w, rows)
+	return nil
+}
+
+func sizesString(sizes []int) string {
+	if len(sizes) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(sizes))
+	for i, n := range sizes {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// WriteTrace renders t to w; a nil trace writes a short notice instead. It
+// is the package-level convenience the report module and cmd/pflow share.
+func WriteTrace(w io.Writer, t *ExecutionTrace) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "(no execution trace: no PerFlowGraph has run)")
+		return err
+	}
+	return t.Write(w)
+}

@@ -1,13 +1,26 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Pass is one analysis sub-task: it consumes input sets and produces output
 // sets (paper §4.2). Built-in passes live in passes.go; user-defined passes
 // implement this interface (or wrap a function with PassFunc).
+//
+// Concurrency contract: the scheduler may run independent passes in
+// parallel goroutines. A pass must treat its input sets as immutable — it
+// may read them freely but must not modify V/E in place (Clone first, as
+// the built-ins do). Passes that annotate vertices of a shared environment
+// (SetMetric/SetAttr) are safe only when no concurrently-runnable sibling
+// touches the same vertices; wire such passes into a dependency chain when
+// in doubt.
 type Pass interface {
 	// Name identifies the pass in reports and errors.
 	Name() string
@@ -16,6 +29,14 @@ type Pass interface {
 	Arity() int
 	// Run performs the sub-task.
 	Run(in []*Set) ([]*Set, error)
+}
+
+// ContextPass is an optional extension of Pass: passes implementing it
+// receive the run's context and can honor cancellation and deadlines
+// mid-pass. The engine prefers RunContext over Run when available.
+type ContextPass interface {
+	Pass
+	RunContext(ctx context.Context, in []*Set) ([]*Set, error)
 }
 
 // PassFunc adapts a function to the Pass interface.
@@ -34,12 +55,35 @@ func (p PassFunc) Arity() int { return p.NumIn }
 // Run invokes the wrapped function.
 func (p PassFunc) Run(in []*Set) ([]*Set, error) { return p.Fn(in) }
 
+// CtxPassFunc adapts a context-aware function to the ContextPass interface.
+type CtxPassFunc struct {
+	PassName string
+	NumIn    int // -1 = variadic
+	Fn       func(ctx context.Context, in []*Set) ([]*Set, error)
+}
+
+// Name returns the pass name.
+func (p CtxPassFunc) Name() string { return p.PassName }
+
+// Arity returns the declared input count.
+func (p CtxPassFunc) Arity() int { return p.NumIn }
+
+// Run invokes the wrapped function with a background context.
+func (p CtxPassFunc) Run(in []*Set) ([]*Set, error) { return p.Fn(context.Background(), in) }
+
+// RunContext invokes the wrapped function.
+func (p CtxPassFunc) RunContext(ctx context.Context, in []*Set) ([]*Set, error) {
+	return p.Fn(ctx, in)
+}
+
 // PNode is a vertex of a PerFlowGraph: a pass plus its wiring.
 type PNode struct {
 	id   int
 	pass Pass
 	// inputs[i] identifies the producer of the node's i-th input.
 	inputs []portRef
+	// after lists pure ordering dependencies (no data flows along them).
+	after []*PNode
 	// seeded inputs provided directly (source nodes).
 	seed []*Set
 
@@ -56,9 +100,12 @@ type portRef struct {
 func (n *PNode) Name() string { return n.pass.Name() }
 
 // PerFlowGraph is the dataflow graph of a performance analysis task
-// (paper §4.1): vertices are passes, edges carry sets.
+// (paper §4.1): vertices are passes, edges carry sets. A graph may be run
+// repeatedly, but a single graph must not be run from multiple goroutines
+// at once.
 type PerFlowGraph struct {
-	nodes []*PNode
+	nodes     []*PNode
+	lastTrace *ExecutionTrace
 }
 
 // NewPerFlowGraph returns an empty dataflow graph.
@@ -83,89 +130,374 @@ func (g *PerFlowGraph) AddSource(name string, sets ...*Set) *PNode {
 }
 
 // Connect wires output port fromPort of from into input port toPort of to.
-// Input ports must be assigned exactly once before Run.
-func (g *PerFlowGraph) Connect(from *PNode, fromPort int, to *PNode, toPort int) {
+// Each input port must be assigned exactly once; wiring an already-wired
+// port is rejected with an error rather than silently overwriting the
+// previous producer.
+func (g *PerFlowGraph) Connect(from *PNode, fromPort int, to *PNode, toPort int) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("core: Connect with nil node")
+	}
+	if fromPort < 0 || toPort < 0 {
+		return fmt.Errorf("core: Connect with negative port (%d -> %d)", fromPort, toPort)
+	}
 	for len(to.inputs) <= toPort {
 		to.inputs = append(to.inputs, portRef{})
 	}
+	if prev := to.inputs[toPort].node; prev != nil {
+		return fmt.Errorf("core: pass %q input %d is already wired to %q; input ports cannot be rewired",
+			to.Name(), toPort, prev.Name())
+	}
 	to.inputs[toPort] = portRef{node: from, port: fromPort}
+	return nil
 }
 
 // Pipe is shorthand for Connect(from, 0, to, 0).
-func (g *PerFlowGraph) Pipe(from, to *PNode) { g.Connect(from, 0, to, 0) }
+func (g *PerFlowGraph) Pipe(from, to *PNode) error { return g.Connect(from, 0, to, 0) }
 
-// Run executes the dataflow graph: passes fire once all their inputs are
-// available; cycles and unbound inputs are reported as errors. It returns
-// the outputs of every node by pass name (last writer wins for duplicate
-// names; use node handles for precise access).
-func (g *PerFlowGraph) Run() (map[string][]*Set, error) {
+// Chain adds the passes as a port-0 pipeline hanging off src — each pass
+// becomes a new node whose input 0 is the previous node's output 0 — and
+// returns the last node added (src itself when no passes are given). It is
+// the one-call form of the AddPass/Pipe sequences that dominate paradigm
+// construction:
+//
+//	hot := g.Chain(src, FilterPass("MPI_*"), HotspotPass(m, 10))
+func (g *PerFlowGraph) Chain(src *PNode, passes ...Pass) *PNode {
+	cur := src
+	for _, p := range passes {
+		n := g.AddPass(p)
+		// Freshly added nodes have no wired inputs, so Connect cannot fail.
+		_ = g.Connect(cur, 0, n, 0)
+		cur = n
+	}
+	return cur
+}
+
+// After adds pure ordering edges: n runs only once every dep has completed,
+// though no data flows between them. Use it to serialize an annotation pass
+// (one that writes vertex metrics/attributes of a shared environment)
+// against a sibling that reads the same vertices — the escape hatch the
+// concurrent scheduler's immutability contract calls for. Returns n.
+func (g *PerFlowGraph) After(n *PNode, deps ...*PNode) *PNode {
+	for _, d := range deps {
+		if d != nil && d != n {
+			n.after = append(n.after, d)
+		}
+	}
+	return n
+}
+
+// runConfig carries per-run scheduler settings.
+type runConfig struct {
+	maxWorkers int
+}
+
+// RunOption customizes one RunCtx invocation.
+type RunOption func(*runConfig)
+
+// WithMaxWorkers bounds the scheduler's worker pool. Values <= 0 fall back
+// to the default, GOMAXPROCS.
+func WithMaxWorkers(n int) RunOption {
+	return func(c *runConfig) { c.maxWorkers = n }
+}
+
+// Run executes the dataflow graph with a background context. See RunCtx.
+func (g *PerFlowGraph) Run(opts ...RunOption) (*Results, error) {
+	return g.RunCtx(context.Background(), opts...)
+}
+
+// RunMap executes the graph and returns node outputs keyed by pass name.
+//
+// Deprecated: duplicate pass names silently drop outputs (last writer
+// wins). Use Run/RunCtx and the Results accessors (ByNode, ByName)
+// instead; RunMap exists only so pre-Results callers migrate incrementally.
+func (g *PerFlowGraph) RunMap() (map[string][]*Set, error) {
+	res, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	return res.Map(), nil
+}
+
+// portKey identifies one output port of one node.
+type portKey struct {
+	node int
+	port int
+}
+
+// RunCtx executes the dataflow graph under ctx: the graph is validated up
+// front (unbound inputs, arity mismatches and cycles are rejected via
+// Kahn's algorithm before any pass runs), then passes fire the moment all
+// their inputs resolve, on a worker pool bounded by GOMAXPROCS (override
+// with WithMaxWorkers). Independent branches run in parallel goroutines.
+//
+// Cancellation of ctx stops the run: no new pass starts, context-aware
+// passes (ContextPass) are interrupted, and all in-flight passes drain
+// before RunCtx returns. The first pass failure likewise cancels the
+// remaining work; when several parallel passes fail, the reported error is
+// deterministic (the failing node added earliest wins).
+//
+// When one output port feeds several consumers, each consumer receives its
+// own shallow copy of the set (shared environment, private V/E slices), so
+// an in-place-mutating consumer cannot corrupt its siblings' inputs.
+func (g *PerFlowGraph) RunCtx(ctx context.Context, opts ...RunOption) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.maxWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := len(g.nodes)
+	if workers > total {
+		workers = total
+	}
+
+	succs, indeg, consumers, err := g.validate()
+	if err != nil {
+		return nil, err
+	}
 	for _, n := range g.nodes {
 		n.done = false
 		n.outputs = nil
 	}
-	remaining := len(g.nodes)
-	for remaining > 0 {
-		progressed := false
-		for _, n := range g.nodes {
-			if n.done || !g.ready(n) {
-				continue
-			}
-			in := make([]*Set, len(n.inputs))
-			for i, ref := range n.inputs {
-				if ref.node == nil {
-					return nil, fmt.Errorf("core: pass %q input %d is unconnected", n.Name(), i)
-				}
-				if ref.port >= len(ref.node.outputs) {
-					return nil, fmt.Errorf("core: pass %q input %d reads missing output port %d of %q",
-						n.Name(), i, ref.port, ref.node.Name())
-				}
-				in[i] = ref.node.outputs[ref.port]
-			}
-			if want := n.pass.Arity(); want >= 0 && len(in) != want {
-				return nil, fmt.Errorf("core: pass %q expects %d inputs, got %d", n.Name(), want, len(in))
-			}
-			out, err := n.pass.Run(in)
-			if err != nil {
-				return nil, fmt.Errorf("core: pass %q: %w", n.Name(), err)
-			}
-			n.outputs = out
-			n.done = true
-			remaining--
-			progressed = true
-		}
-		if !progressed {
-			var stuck []string
-			for _, n := range g.nodes {
-				if !n.done {
-					stuck = append(stuck, n.Name())
-				}
-			}
-			return nil, fmt.Errorf("core: PerFlowGraph has a cycle or unbound input involving: %s",
-				strings.Join(stuck, ", "))
+	g.lastTrace = nil
+	if total == 0 {
+		tr := &ExecutionTrace{}
+		g.lastTrace = tr
+		return newResults(g, tr), nil
+	}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		queue     = make(chan *PNode, total) // never blocks: each node enqueued once
+		remaining = total
+		failures  = map[int]error{}
+		spans     = make([]PassSpan, 0, total)
+	)
+	start := time.Now()
+	for id, d := range indeg {
+		if d == 0 {
+			queue <- g.nodes[id]
 		}
 	}
-	results := make(map[string][]*Set, len(g.nodes))
-	for _, n := range g.nodes {
-		results[n.Name()] = n.outputs
+
+	// finish records one node's outcome and releases newly-ready successors.
+	finish := func(n *PNode, out []*Set, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			failures[n.id] = err
+			cancel() // first failure cancels in-flight siblings
+			return
+		}
+		n.outputs = out
+		n.done = true
+		remaining--
+		if remaining == 0 {
+			close(queue)
+			return
+		}
+		for _, sid := range succs[n.id] {
+			indeg[sid]--
+			if indeg[sid] == 0 {
+				queue <- g.nodes[sid]
+			}
+		}
 	}
-	return results, nil
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(wid int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-rctx.Done():
+					return
+				case n, ok := <-queue:
+					if !ok || rctx.Err() != nil {
+						return
+					}
+					g.execNode(rctx, n, wid, start, consumers, &mu, &spans, finish)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	trace := newExecutionTrace(workers, time.Since(start), spans)
+	g.lastTrace = trace
+
+	if len(failures) > 0 {
+		id, err := firstFailure(failures)
+		return nil, fmt.Errorf("core: pass %q: %w", g.nodes[id].Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: PerFlowGraph run canceled: %w", err)
+	}
+	return newResults(g, trace), nil
 }
 
-// ready reports whether all producers of n's inputs have fired. A node with
-// no inputs is always ready.
-func (g *PerFlowGraph) ready(n *PNode) bool {
-	for _, ref := range n.inputs {
-		if ref.node == nil {
-			// Checked again in Run with a better error; treat as ready so
-			// the error surfaces.
-			return true
+// execNode gathers n's inputs, runs its pass, records an instrumentation
+// span and reports the outcome through finish.
+func (g *PerFlowGraph) execNode(ctx context.Context, n *PNode, wid int, start time.Time,
+	consumers map[portKey]int, mu *sync.Mutex, spans *[]PassSpan, finish func(*PNode, []*Set, error)) {
+
+	in := make([]*Set, len(n.inputs))
+	for i, ref := range n.inputs {
+		// The producer completed before n was enqueued (happens-before via
+		// the ready queue), so reading its outputs is race-free.
+		if ref.port >= len(ref.node.outputs) {
+			finish(n, nil, fmt.Errorf("input %d reads missing output port %d of %q",
+				i, ref.port, ref.node.Name()))
+			return
 		}
-		if !ref.node.done {
-			return false
+		s := ref.node.outputs[ref.port]
+		if s != nil && consumers[portKey{ref.node.id, ref.port}] > 1 {
+			s = s.Clone() // copy-on-fan-out: siblings get private V/E slices
+		}
+		in[i] = s
+	}
+
+	t0 := time.Since(start)
+	out, err := runPass(ctx, n.pass, in)
+	t1 := time.Since(start)
+
+	span := PassSpan{
+		Node:     n.id,
+		Pass:     n.Name(),
+		Worker:   wid,
+		Start:    t0,
+		End:      t1,
+		InSizes:  setSizes(in),
+		OutSizes: setSizes(out),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	mu.Lock()
+	*spans = append(*spans, span)
+	mu.Unlock()
+
+	finish(n, out, err)
+}
+
+// runPass dispatches to the context-aware entry point when available.
+func runPass(ctx context.Context, p Pass, in []*Set) ([]*Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cp, ok := p.(ContextPass); ok {
+		return cp.RunContext(ctx, in)
+	}
+	return p.Run(in)
+}
+
+// firstFailure picks the reported error deterministically: the earliest-
+// added failing node wins, and genuine pass failures take precedence over
+// cancellation fallout from siblings.
+func firstFailure(failures map[int]error) (int, error) {
+	bestID, bestAny := -1, -1
+	for id, err := range failures {
+		if bestAny < 0 || id < bestAny {
+			bestAny = id
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			continue
+		}
+		if bestID < 0 || id < bestID {
+			bestID = id
 		}
 	}
-	return true
+	if bestID < 0 {
+		bestID = bestAny
+	}
+	return bestID, failures[bestID]
 }
+
+func setSizes(sets []*Set) []int {
+	if len(sets) == 0 {
+		return nil
+	}
+	out := make([]int, len(sets))
+	for i, s := range sets {
+		if s != nil {
+			out[i] = s.Len()
+		}
+	}
+	return out
+}
+
+// validate checks the graph shape before any pass runs: every input port
+// must be bound, declared arities must match the wiring, and the graph must
+// be acyclic (Kahn's algorithm). It returns the successor lists, in-degree
+// counts and per-port consumer counts the scheduler needs.
+func (g *PerFlowGraph) validate() (succs [][]int, indeg []int, consumers map[portKey]int, err error) {
+	succs = make([][]int, len(g.nodes))
+	indeg = make([]int, len(g.nodes))
+	consumers = make(map[portKey]int)
+	for _, n := range g.nodes {
+		if want := n.pass.Arity(); want >= 0 && len(n.inputs) != want {
+			return nil, nil, nil, fmt.Errorf("core: pass %q expects %d inputs, got %d",
+				n.Name(), want, len(n.inputs))
+		}
+		for i, ref := range n.inputs {
+			if ref.node == nil {
+				return nil, nil, nil, fmt.Errorf("core: pass %q input %d is unconnected", n.Name(), i)
+			}
+			succs[ref.node.id] = append(succs[ref.node.id], n.id)
+			indeg[n.id]++
+			consumers[portKey{ref.node.id, ref.port}]++
+		}
+		for _, dep := range n.after {
+			succs[dep.id] = append(succs[dep.id], n.id)
+			indeg[n.id]++
+		}
+	}
+	// Kahn's algorithm on a scratch copy: any node never reaching in-degree
+	// zero sits on a cycle.
+	deg := append([]int(nil), indeg...)
+	queue := make([]int, 0, len(g.nodes))
+	for id, d := range deg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, s := range succs[id] {
+			deg[s]--
+			if deg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if visited != len(g.nodes) {
+		var cyc []string
+		for id, d := range deg {
+			if d > 0 {
+				cyc = append(cyc, g.nodes[id].Name())
+			}
+		}
+		return nil, nil, nil, fmt.Errorf("core: PerFlowGraph has a cycle involving: %s",
+			strings.Join(cyc, ", "))
+	}
+	return succs, indeg, consumers, nil
+}
+
+// Trace returns the instrumentation record of the graph's most recent run
+// (nil before the first run). The trace is also carried on the Results.
+func (g *PerFlowGraph) Trace() *ExecutionTrace { return g.lastTrace }
 
 // Outputs returns the sets a node produced during the last Run.
 func (n *PNode) Outputs() []*Set { return n.outputs }

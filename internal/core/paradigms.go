@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,7 +12,9 @@ import (
 // common analysis tasks — an MPI profiler (after mpiP), a critical-path
 // paradigm (after Böhme/Schmitt), a scalability-analysis paradigm (after
 // ScalAna, Listing 7 / Figure 8), and the communication-analysis task of
-// §2.2 (Listing 1 / Figure 2).
+// §2.2 (Listing 1 / Figure 2). Every paradigm threads the caller's context
+// into the concurrent engine (RunCtx) and surfaces the run's
+// ExecutionTrace for overhead accounting.
 
 // MPIProfileRow is one call-site row of the MPI profiler paradigm.
 type MPIProfileRow struct {
@@ -73,18 +76,18 @@ func WriteMPIProfile(w io.Writer, rows []MPIProfileRow) {
 }
 
 // CriticalPathParadigm builds and runs the critical-path PerFlowGraph on a
-// parallel-view PAG, reporting the heaviest dependence chain.
-func CriticalPathParadigm(parallel *pag.PAG, w io.Writer) (*Set, error) {
+// parallel-view PAG, reporting the heaviest dependence chain. It returns
+// the path set plus the run's execution trace.
+func CriticalPathParadigm(ctx context.Context, parallel *pag.PAG, w io.Writer) (*Set, *ExecutionTrace, error) {
 	g := NewPerFlowGraph()
 	src := g.AddSource("pag", AllVertices(parallel))
-	cp := g.AddPass(CriticalPathPass())
-	rep := g.AddPass(ReportPass(w, "critical path", []string{"name", "rank", "etime", "wait", "debug"}, 30))
-	g.Pipe(src, cp)
-	g.Pipe(cp, rep)
-	if _, err := g.Run(); err != nil {
-		return nil, err
+	cp := g.Chain(src, CriticalPathPass())
+	g.Chain(cp, ReportPass(w, "critical path", []string{"name", "rank", "etime", "wait", "debug"}, 30))
+	res, err := g.RunCtx(ctx)
+	if err != nil {
+		return nil, nil, err
 	}
-	return cp.Output(), nil
+	return res.Output(cp), res.Trace(), nil
 }
 
 // ScalabilityResult carries the scalability paradigm's findings.
@@ -101,13 +104,15 @@ type ScalabilityResult struct {
 	// RootCauses are the origin vertices of the backtracking paths (path
 	// sources with no further dependence in-edges).
 	RootCauses *Set
+	// Trace is the engine's per-pass instrumentation for the paradigm run.
+	Trace *ExecutionTrace
 }
 
 // ScalabilityAnalysis is the paradigm of Listing 7 / Figure 8: differential
 // analysis between a small-scale and a large-scale run, hotspot detection
 // on the scaling loss, imbalance analysis, union, and a backtracking pass
 // over the parallel view of the large run.
-func ScalabilityAnalysis(small, large, parallelLarge *pag.PAG, topN int, w io.Writer) (*ScalabilityResult, error) {
+func ScalabilityAnalysis(ctx context.Context, small, large, parallelLarge *pag.PAG, topN int, w io.Writer) (*ScalabilityResult, error) {
 	if topN <= 0 {
 		topN = 10
 	}
@@ -119,17 +124,16 @@ func ScalabilityAnalysis(small, large, parallelLarge *pag.PAG, topN int, w io.Wr
 	g.Connect(srcSmall, 0, diff, 0)
 	g.Connect(srcLarge, 0, diff, 1)
 
-	hot := g.AddPass(HotspotPass(MetricScaleLoss, topN))
-	g.Pipe(diff, hot)
+	// Hotspots of the scaling loss, projected back onto the large top-down
+	// view (the diff set lives over the diff PAG).
+	hot := g.Chain(diff, HotspotPass(MetricScaleLoss, topN))
+	proj := g.Chain(hot, ProjectPass(large))
 
-	// Imbalance on the large run's per-rank vectors.
-	imb := g.AddPass(ImbalancePass(pag.MetricTime, 1.5))
-	g.Connect(srcLarge, 0, imb, 0)
+	// Imbalance on the large run's per-rank vectors. The pass annotates the
+	// large PAG's vertices (SetMetric), which the differential pass reads —
+	// an ordering edge keeps the two from touching those vertices at once.
+	imb := g.After(g.Chain(srcLarge, ImbalancePass(pag.MetricTime, 1.5)), diff)
 
-	// The union needs both sets over one environment: project the hotspot
-	// (diff-PAG) set onto the large top-down view first.
-	proj := g.AddPass(ProjectPass(large))
-	g.Pipe(hot, proj)
 	union := g.AddPass(UnionPass())
 	g.Connect(proj, 0, union, 0)
 	g.Connect(imb, 0, union, 1)
@@ -138,29 +142,27 @@ func ScalabilityAnalysis(small, large, parallelLarge *pag.PAG, topN int, w io.Wr
 	// vertices with the largest waiting time among the projected
 	// candidates (every rank's copy of an imbalanced loop is projected;
 	// only the delayed instances are worth unwinding).
-	toParallel := g.AddPass(ProjectPass(parallelLarge))
-	g.Pipe(union, toParallel)
-	seeds := g.AddPass(HotspotPass(pag.MetricTime, 64))
-	g.Pipe(toParallel, seeds)
-	bt := g.AddPass(BacktrackPass(0))
-	g.Pipe(seeds, bt)
+	bt := g.Chain(union,
+		ProjectPass(parallelLarge),
+		HotspotPass(pag.MetricTime, 64),
+		BacktrackPass(0))
 
-	var rep *PNode
 	if w != nil {
-		rep = g.AddPass(ReportPass(w, "scalability analysis: backtracked root-cause paths",
+		g.Chain(bt, ReportPass(w, "scalability analysis: backtracked root-cause paths",
 			[]string{"name", "rank", "time", "wait", "debug"}, 40))
-		g.Pipe(bt, rep)
 	}
 
-	if _, err := g.Run(); err != nil {
+	run, err := g.RunCtx(ctx)
+	if err != nil {
 		return nil, err
 	}
 
 	res := &ScalabilityResult{
-		Diff:        diff.Output(),
-		ScalingLoss: hot.Output(),
-		Imbalanced:  imb.Output(),
-		Backtracked: bt.Output(),
+		Diff:        run.Output(diff),
+		ScalingLoss: run.Output(hot),
+		Imbalanced:  run.Output(imb),
+		Backtracked: run.Output(bt),
+		Trace:       run.Trace(),
 	}
 	res.RootCauses = pathSources(res.Backtracked)
 	return res, nil
@@ -202,33 +204,30 @@ func pathSources(s *Set) *Set {
 
 // CommunicationAnalysis is the task of §2.2 (Listing 1 / Figure 2): filter
 // communication vertices, detect hotspots, analyze imbalance, break the
-// imbalanced calls down, and report.
-func CommunicationAnalysis(env *pag.PAG, topN int, w io.Writer) (imbalanced, breakdown *Set, err error) {
+// imbalanced calls down, and report. The returned trace carries the per-pass
+// instrumentation of the run.
+func CommunicationAnalysis(ctx context.Context, env *pag.PAG, topN int, w io.Writer) (imbalanced, breakdown *Set, trace *ExecutionTrace, err error) {
 	if topN <= 0 {
 		topN = 10
 	}
 	g := NewPerFlowGraph()
 	src := g.AddSource("pag", AllVertices(env))
-	filter := g.AddPass(FilterPass("MPI_*"))
-	hot := g.AddPass(HotspotPass(pag.MetricExclTime, topN))
-	imb := g.AddPass(ImbalancePass(pag.MetricTime, 1.2))
-	bd := g.AddPass(BreakdownPass())
-	g.Pipe(src, filter)
-	g.Pipe(filter, hot)
-	g.Pipe(hot, imb)
-	g.Pipe(imb, bd)
-	var rep *PNode
+	imb := g.Chain(src,
+		FilterPass("MPI_*"),
+		HotspotPass(pag.MetricExclTime, topN),
+		ImbalancePass(pag.MetricTime, 1.2))
+	bd := g.Chain(imb, BreakdownPass())
 	if w != nil {
-		rep = g.AddPass(ReportPass(w, "communication analysis",
+		rep := g.AddPass(ReportPass(w, "communication analysis",
 			[]string{"name", "comm-info", "debug-info", "etime", "wait", "imbalance", "breakdown"}, 20))
 		g.Connect(imb, 0, rep, 0)
 		g.Connect(bd, 0, rep, 1)
 	}
-	if _, err := g.Run(); err != nil {
-		return nil, nil, err
+	run, err := g.RunCtx(ctx)
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	_ = rep
-	return imb.Output(), bd.Output(), nil
+	return run.Output(imb), run.Output(bd), run.Trace(), nil
 }
 
 // ContentionResult carries the contention paradigm's findings (§5.5).
@@ -243,14 +242,17 @@ type ContentionResult struct {
 	// Embeddings are the detected contention-pattern occurrences
 	// (Figure 16).
 	Embeddings *Set
+	// Trace is the engine's per-pass instrumentation for the paradigm run.
+	Trace *ExecutionTrace
 }
 
 // ContentionAnalysis is the PerFlowGraph of Figure 14: branches for
 // comprehensive diagnosis — hotspot detection on the top-down view,
 // differential analysis between a low and a high thread count, causal
 // analysis, and contention detection via subgraph matching on the parallel
-// view of the high-thread run.
-func ContentionAnalysis(low, high, parallelHigh *pag.PAG, topN int, w io.Writer) (*ContentionResult, error) {
+// view of the high-thread run. The four branches are independent, so the
+// concurrent scheduler runs them in parallel.
+func ContentionAnalysis(ctx context.Context, low, high, parallelHigh *pag.PAG, topN int, w io.Writer) (*ContentionResult, error) {
 	if topN <= 0 {
 		topN = 10
 	}
@@ -259,39 +261,32 @@ func ContentionAnalysis(low, high, parallelHigh *pag.PAG, topN int, w io.Writer)
 	srcHigh := g.AddSource("pag_high", AllVertices(high))
 	srcPar := g.AddSource("pag_parallel", AllVertices(parallelHigh))
 
-	hot := g.AddPass(HotspotPass(pag.MetricExclTime, topN))
-	g.Connect(srcHigh, 0, hot, 0)
+	hot := g.Chain(srcHigh, HotspotPass(pag.MetricExclTime, topN))
 
 	diff := g.AddPass(DifferentialPass(pag.MetricTime, false))
 	g.Connect(srcLow, 0, diff, 0)
 	g.Connect(srcHigh, 0, diff, 1)
-	worse := g.AddPass(HotspotPass(MetricScaleLoss, topN))
-	g.Pipe(diff, worse)
+	worse := g.Chain(diff, HotspotPass(MetricScaleLoss, topN))
 
 	// Causal analysis around the degraded vertices, on the parallel view.
-	projWorse := g.AddPass(ProjectPass(parallelHigh))
-	g.Pipe(worse, projWorse)
-	causal := g.AddPass(CausalPass())
-	g.Pipe(projWorse, causal)
+	causal := g.Chain(worse, ProjectPass(parallelHigh), CausalPass())
 
 	// Contention detection across the whole parallel view.
-	cont := g.AddPass(ContentionPass())
-	g.Connect(srcPar, 0, cont, 0)
+	cont := g.Chain(srcPar, ContentionPass())
 
-	var rep *PNode
 	if w != nil {
-		rep = g.AddPass(ReportPass(w, "contention analysis (Figure 14)",
+		g.Chain(cont, ReportPass(w, "contention analysis (Figure 14)",
 			[]string{"name", "label", "rank", "wait"}, 16))
-		g.Connect(cont, 0, rep, 0)
 	}
-	if _, err := g.Run(); err != nil {
+	run, err := g.RunCtx(ctx)
+	if err != nil {
 		return nil, err
 	}
-	_ = rep
 	return &ContentionResult{
-		Hotspots:   hot.Output(),
-		Worse:      worse.Output(),
-		Causes:     causal.Output(),
-		Embeddings: cont.Output(),
+		Hotspots:   run.Output(hot),
+		Worse:      run.Output(worse),
+		Causes:     run.Output(causal),
+		Embeddings: run.Output(cont),
+		Trace:      run.Trace(),
 	}, nil
 }

@@ -267,8 +267,14 @@ func TestFlowGraphRunsInDependencyOrder(t *testing.T) {
 	if got := hot.Output().Names(); len(got) != 1 || got[0] != "MPI_Send" {
 		t.Errorf("pipeline output = %v", got)
 	}
-	if len(out) != 3 {
-		t.Errorf("results map size = %d", len(out))
+	if len(out.Nodes()) != 3 {
+		t.Errorf("results node count = %d", len(out.Nodes()))
+	}
+	if s := out.Output(hot); s == nil || s.Len() != 1 {
+		t.Errorf("Results.Output(hot) = %v", s)
+	}
+	if byName := out.ByName("hotspot_detection"); len(byName) != 1 {
+		t.Errorf("ByName groups = %d, want 1", len(byName))
 	}
 }
 

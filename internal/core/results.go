@@ -1,0 +1,67 @@
+package core
+
+// Results is the typed outcome of one PerFlowGraph run. Unlike the old
+// map[string][]*Set (where two passes sharing a name silently shadowed each
+// other), Results keeps every node's outputs addressable — precisely by
+// node handle, or grouped by pass name.
+type Results struct {
+	nodes  []*PNode
+	byNode map[*PNode][]*Set
+	trace  *ExecutionTrace
+}
+
+func newResults(g *PerFlowGraph, trace *ExecutionTrace) *Results {
+	r := &Results{
+		nodes:  append([]*PNode(nil), g.nodes...),
+		byNode: make(map[*PNode][]*Set, len(g.nodes)),
+		trace:  trace,
+	}
+	for _, n := range g.nodes {
+		r.byNode[n] = n.outputs
+	}
+	return r
+}
+
+// ByNode returns the outputs (one set per output port) of the given node,
+// or nil when the node is not part of the run.
+func (r *Results) ByNode(n *PNode) []*Set { return r.byNode[n] }
+
+// Output returns port 0 of the node's outputs, or nil.
+func (r *Results) Output(n *PNode) *Set {
+	outs := r.byNode[n]
+	if len(outs) == 0 {
+		return nil
+	}
+	return outs[0]
+}
+
+// ByName returns the outputs of every node whose pass has the given name,
+// in graph insertion order — duplicate names collide in the deprecated map
+// form but are all preserved here.
+func (r *Results) ByName(name string) [][]*Set {
+	var out [][]*Set
+	for _, n := range r.nodes {
+		if n.Name() == name {
+			out = append(out, r.byNode[n])
+		}
+	}
+	return out
+}
+
+// Nodes returns the run's nodes in insertion order.
+func (r *Results) Nodes() []*PNode { return r.nodes }
+
+// Trace returns the run's per-pass instrumentation record.
+func (r *Results) Trace() *ExecutionTrace { return r.trace }
+
+// Map flattens the results to the legacy name-keyed form.
+//
+// Deprecated: when two passes share a name the later node wins and the
+// earlier outputs are dropped. Use ByNode or ByName.
+func (r *Results) Map() map[string][]*Set {
+	m := make(map[string][]*Set, len(r.nodes))
+	for _, n := range r.nodes {
+		m[n.Name()] = r.byNode[n]
+	}
+	return m
+}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -149,7 +150,7 @@ func CaseA(smallRanks, largeRanks int, w io.Writer) (*CaseAResult, error) {
 		Speedup:      mpisim.Speedup(small.Run, large.Run),
 		IdealSpeedup: float64(largeRanks) / float64(smallRanks),
 	}
-	res.Analysis, err = core.ScalabilityAnalysis(small.TopDown, large.TopDown, large.Parallel, 12, w)
+	res.Analysis, err = core.ScalabilityAnalysis(context.Background(), small.TopDown, large.TopDown, large.Parallel, 12, w)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@
 package perflow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -47,6 +48,20 @@ type (
 	PassFunc = core.PassFunc
 	// PerFlowGraph is the dataflow graph of an analysis task.
 	PerFlowGraph = core.PerFlowGraph
+	// PNode is one vertex (pass instance) of a PerFlowGraph.
+	PNode = core.PNode
+	// Results is the typed outcome of a PerFlowGraph run: outputs are
+	// addressable by node handle (ByNode/Output) or by pass name (ByName).
+	Results = core.Results
+	// ExecutionTrace is the per-pass instrumentation record of one run.
+	ExecutionTrace = core.ExecutionTrace
+	// PassSpan is one pass's entry in an ExecutionTrace.
+	PassSpan = core.PassSpan
+	// RunOption customizes one PerFlowGraph.RunCtx invocation.
+	RunOption = core.RunOption
+	// CtxPassFunc adapts a context-aware function to a cancellation-aware
+	// pass.
+	CtxPassFunc = core.CtxPassFunc
 	// PAG is the Program Abstraction Graph.
 	PAG = pag.PAG
 	// Program is the program model analyzed by PerFlow (stands in for the
@@ -66,6 +81,14 @@ type (
 
 // NewPerFlowGraph returns an empty dataflow graph for custom analysis tasks.
 func NewPerFlowGraph() *PerFlowGraph { return core.NewPerFlowGraph() }
+
+// WithMaxWorkers bounds the dataflow engine's worker pool for one run
+// (default: GOMAXPROCS).
+func WithMaxWorkers(n int) RunOption { return core.WithMaxWorkers(n) }
+
+// WriteTrace renders an execution trace as an aligned text table; a nil
+// trace writes a short notice instead.
+func WriteTrace(w io.Writer, t *ExecutionTrace) error { return core.WriteTrace(w, t) }
 
 // Metric names for use in Hotspot/Imbalance/Report attribute lists.
 const (
@@ -97,6 +120,10 @@ type PerFlow struct {
 	// Out receives report output for convenience methods; defaults to
 	// os.Stdout.
 	Out io.Writer
+	// LastTrace holds the dataflow engine's instrumentation for the most
+	// recent paradigm run (nil before the first one). Render it with
+	// WriteTrace — the cmd/pflow -trace flag does.
+	LastTrace *ExecutionTrace
 }
 
 // New returns a PerFlow handle writing reports to os.Stdout.
@@ -253,24 +280,50 @@ func WriteMPIProfile(w io.Writer, rows []MPIProfileRow) { core.WriteMPIProfile(w
 // CriticalPathParadigm runs the critical-path PerFlowGraph on a result's
 // parallel view and reports to w.
 func (pf *PerFlow) CriticalPathParadigm(res *Result, w io.Writer) (*Set, error) {
+	return pf.CriticalPathParadigmCtx(context.Background(), res, w)
+}
+
+// CriticalPathParadigmCtx is CriticalPathParadigm under a caller-supplied
+// context: cancellation and deadlines propagate into the dataflow engine.
+func (pf *PerFlow) CriticalPathParadigmCtx(ctx context.Context, res *Result, w io.Writer) (*Set, error) {
 	if res.Parallel == nil {
 		return nil, fmt.Errorf("perflow: critical path needs the parallel view")
 	}
-	return core.CriticalPathParadigm(res.Parallel, w)
+	cp, trace, err := core.CriticalPathParadigm(ctx, res.Parallel, w)
+	pf.LastTrace = trace
+	return cp, err
 }
 
 // ScalabilityAnalysisParadigm runs the paradigm of Listing 7 / Figure 8 on
 // a small-scale and a large-scale collection of the same program.
 func (pf *PerFlow) ScalabilityAnalysisParadigm(small, large *Result, w io.Writer) (*ScalabilityResult, error) {
+	return pf.ScalabilityAnalysisParadigmCtx(context.Background(), small, large, w)
+}
+
+// ScalabilityAnalysisParadigmCtx is ScalabilityAnalysisParadigm under a
+// caller-supplied context.
+func (pf *PerFlow) ScalabilityAnalysisParadigmCtx(ctx context.Context, small, large *Result, w io.Writer) (*ScalabilityResult, error) {
 	if large.Parallel == nil {
 		return nil, fmt.Errorf("perflow: scalability analysis needs the large run's parallel view")
 	}
-	return core.ScalabilityAnalysis(small.TopDown, large.TopDown, large.Parallel, 10, w)
+	res, err := core.ScalabilityAnalysis(ctx, small.TopDown, large.TopDown, large.Parallel, 10, w)
+	if res != nil {
+		pf.LastTrace = res.Trace
+	}
+	return res, err
 }
 
 // CommunicationAnalysisParadigm runs the §2.2 task (Listing 1 / Figure 2).
 func (pf *PerFlow) CommunicationAnalysisParadigm(res *Result, w io.Writer) (imbalanced, breakdown *Set, err error) {
-	return core.CommunicationAnalysis(res.TopDown, 10, w)
+	return pf.CommunicationAnalysisParadigmCtx(context.Background(), res, w)
+}
+
+// CommunicationAnalysisParadigmCtx is CommunicationAnalysisParadigm under a
+// caller-supplied context.
+func (pf *PerFlow) CommunicationAnalysisParadigmCtx(ctx context.Context, res *Result, w io.Writer) (imbalanced, breakdown *Set, err error) {
+	imbalanced, breakdown, trace, err := core.CommunicationAnalysis(ctx, res.TopDown, 10, w)
+	pf.LastTrace = trace
+	return imbalanced, breakdown, err
 }
 
 // ---- pass constructors for PerFlowGraph wiring (low-level API) ----

@@ -93,21 +93,22 @@ func TestCustomPassInPerFlowGraph(t *testing.T) {
 	g := perflow.NewPerFlowGraph()
 	src := g.AddSource("pag", perflow.TopDownSet(res))
 	filter := g.AddPass(perflow.Passes.Filter("MPI_*"))
-	custom := g.AddPass(perflow.PassFunc{
+	custom := perflow.PassFunc{
 		PassName: "keep_isend_only",
 		NumIn:    1,
 		Fn: func(in []*perflow.Set) ([]*perflow.Set, error) {
 			return []*perflow.Set{in[0].FilterName("MPI_Isend")}, nil
 		},
-	})
-	hot := g.AddPass(perflow.Passes.Hotspot(perflow.MetricExclTime, 2))
-	g.Pipe(src, filter)
-	g.Pipe(filter, custom)
-	g.Pipe(custom, hot)
-	if _, err := g.Run(); err != nil {
+	}
+	hot := g.Chain(filter, custom, perflow.Passes.Hotspot(perflow.MetricExclTime, 2))
+	if err := g.Pipe(src, filter); err != nil {
 		t.Fatal(err)
 	}
-	out := hot.Output()
+	res2, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res2.Output(hot)
 	if out.Len() == 0 {
 		t.Fatal("custom pipeline empty")
 	}
