@@ -48,23 +48,33 @@ func BenchmarkTable1Collect(b *testing.B) {
 }
 
 // BenchmarkTable2PAGBuild measures PAG construction (both views) — the
-// Table 2 pipeline — on the largest model.
+// Table 2 pipeline — on the largest model. The "sequential" sub-benchmark
+// pins the sharded builder to one worker; "parallel" uses every core. The
+// built graphs are byte-identical either way (see the pag shard tests), so
+// the pair isolates the worker pool's wall-clock effect.
 func BenchmarkTable2PAGBuild(b *testing.B) {
 	p := workloads.LAMMPS(false)
 	run, err := mpisim.Run(p, mpisim.Config{NRanks: benchRanks})
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		td := pag.BuildTopDown(p)
-		pv := pag.BuildParallel(run)
-		nv, _ := td.Size()
-		mv, _ := pv.Size()
-		if nv == 0 || mv == 0 {
-			b.Fatal("empty view")
-		}
+	for _, cfg := range []struct {
+		name string
+		par  int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				td := pag.BuildTopDown(p)
+				pv := pag.BuildParallelOpts(run, pag.BuildOptions{Parallelism: cfg.par})
+				nv, _ := td.Size()
+				mv, _ := pv.Size()
+				if nv == 0 || mv == 0 {
+					b.Fatal("empty view")
+				}
+			}
+		})
 	}
 }
 
@@ -181,6 +191,73 @@ func BenchmarkPassCausalLCA(b *testing.B) {
 			b.Fatal("no causes")
 		}
 	}
+}
+
+// BenchmarkLCAQueries isolates the bitset LCA kernel: one finder, repeated
+// victim-pair queries on a LAMMPS parallel view (the causal pass's access
+// pattern — ancestor bitsets amortize across queries).
+func BenchmarkLCAQueries(b *testing.B) {
+	res, err := collector.Collect(workloads.LAMMPS(false), collector.Options{Ranks: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victims := core.AllVertices(res.Parallel).FilterName("MPI_Wait*").SortBy(pag.MetricWait).Top(8).V
+	if len(victims) < 2 {
+		b.Fatal("not enough victims")
+	}
+	g := res.Parallel.G
+	f := graph.NewLCAFinder(g)
+	if !f.Valid() {
+		g, _ = graph.DAGCopy(g)
+		f = graph.NewLCAFinder(g)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		for x := 0; x < len(victims); x++ {
+			for y := x + 1; y < len(victims); y++ {
+				if lca, _, _ := f.Query(victims[x], victims[y]); lca != graph.NoVertex {
+					hits++
+				}
+			}
+		}
+		if hits == 0 {
+			b.Fatal("no common ancestors")
+		}
+	}
+}
+
+// BenchmarkFrozenTraversal compares BFS over a zeusmp parallel view on the
+// mutable adjacency lists versus the frozen CSR snapshot (pooled scratch,
+// no per-call allocation).
+func BenchmarkFrozenTraversal(b *testing.B) {
+	run, err := mpisim.Run(workloads.ZeusMP(false), mpisim.Config{NRanks: benchRanks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := pag.BuildParallel(run).G
+	f := g.Frozen()
+	b.Run("graph", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			g.BFS(0, func(graph.VertexID) bool { n++; return true })
+			if n == 0 {
+				b.Fatal("empty BFS")
+			}
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			f.BFS(0, func(graph.VertexID) bool { n++; return true })
+			if n == 0 {
+				b.Fatal("empty BFS")
+			}
+		}
+	})
 }
 
 // BenchmarkPassContentionMatch isolates subgraph matching on a Vite

@@ -32,6 +32,7 @@ func main() {
 		ranks    = flag.Int("ranks", 8, "MPI rank count")
 		ranks2   = flag.Int("ranks2", 0, "second (large) rank count for scalability analysis")
 		threads  = flag.Int("threads", 1, "threads per rank in parallel regions")
+		par      = flag.Int("j", 0, "worker count for sharded PAG construction (0 = all cores); results are identical at any setting")
 		analysis = flag.String("analysis", "profile",
 			"analysis to run: profile | hotspot | comm | scalability | contention | critical | timeline | waitstates")
 		topN    = flag.Int("top", 10, "result count for hotspot-style analyses")
@@ -58,6 +59,7 @@ func main() {
 
 	pf := perflow.New()
 	load := func(opts perflow.RunOptions) (*perflow.Result, error) {
+		opts.Parallelism = *par
 		if *loadPAG != "" {
 			return perflow.LoadPAGResult(*loadPAG)
 		}

@@ -64,6 +64,11 @@ type Options struct {
 	// SkipParallelView suppresses parallel-view construction when only the
 	// top-down view is needed (differential analysis of two scales).
 	SkipParallelView bool
+
+	// Parallelism bounds the worker pool used for sharded PAG construction
+	// and data embedding; <= 0 uses all available cores. The built PAGs are
+	// identical at every setting.
+	Parallelism int
 }
 
 // Result bundles everything the analysis layers consume.
@@ -144,13 +149,19 @@ func Collect(p *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// ---- embedding ----
-	td.EmbedRun(run, opts.PMU)
+	buildOpts := pag.BuildOptions{Parallelism: opts.Parallelism}
+	td.EmbedRunParallel(run, opts.PMU, buildOpts)
 	td.MarkDynamicCallees(run)
 	res.PAGBytes = td.SerializedSize()
+	// Pre-warm the frozen CSR snapshot: construction is complete, so the
+	// analysis passes (name lookups, traversals, matching) hit the indexes
+	// without paying the O(V+E) build inside a timed pass.
+	td.G.Frozen()
 
 	if !opts.SkipParallelView {
-		res.Parallel = pag.BuildParallel(run)
+		res.Parallel = pag.BuildParallelOpts(run, buildOpts)
 		res.PAGBytes += res.Parallel.SerializedSize()
+		res.Parallel.G.Frozen()
 	}
 	if opts.Mode == ModeTracing {
 		res.TraceBytes = run.EncodedSize()

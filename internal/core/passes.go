@@ -266,7 +266,7 @@ func ContentionPass() Pass {
 func CriticalPath(v *Set) *Set {
 	out := NewSet(v.PAG)
 	g, origE := dagOf(v.PAG.G)
-	vs, es, _ := g.CriticalPath(
+	vs, es, _ := g.Frozen().CriticalPath(
 		func(x *graph.Vertex) float64 { return x.Metric(pag.MetricExclTime) },
 		func(e *graph.Edge) float64 { return e.Metric(pag.MetricWait) },
 	)
@@ -284,7 +284,7 @@ func CriticalPath(v *Set) *Set {
 // lock waits, shifting collective stragglers) can close cycles in the
 // parallel view; the DAG algorithms run on the skeleton.
 func dagOf(g *graph.Graph) (*graph.Graph, []graph.EdgeID) {
-	if !g.HasCycle() {
+	if g.Frozen().Acyclic() {
 		return g, nil
 	}
 	return graph.DAGCopy(g)

@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // VertexID identifies a vertex within one Graph. IDs are dense indices
@@ -157,11 +158,21 @@ func (e *Edge) SetAttr(k, val string) {
 
 // Graph is a directed property graph with stable, dense vertex and edge IDs.
 // The zero value is an empty graph ready for use.
+//
+// Structural mutation (AddVertex, AddEdge) is not safe for concurrent use;
+// concurrent reads — including Frozen() — are.
 type Graph struct {
 	vertices []Vertex
 	edges    []Edge
 	out      [][]EdgeID // outgoing edge IDs per vertex
 	in       [][]EdgeID // incoming edge IDs per vertex
+
+	// version counts structural mutations; a Frozen snapshot is valid only
+	// while the version it captured is current.
+	version uint64
+
+	frozenMu sync.Mutex
+	frozen   *Frozen // cached snapshot, rebuilt lazily after mutation
 }
 
 // New returns an empty graph with capacity hints for nv vertices and ne edges.
@@ -186,6 +197,7 @@ func (g *Graph) AddVertex(name string, label int) VertexID {
 	g.vertices = append(g.vertices, Vertex{ID: id, Name: name, Label: label})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.version++
 	return id
 }
 
@@ -201,6 +213,7 @@ func (g *Graph) AddEdge(src, dst VertexID, label int) EdgeID {
 	g.edges = append(g.edges, Edge{ID: id, Src: src, Dst: dst, Label: label})
 	g.out[src] = append(g.out[src], id)
 	g.in[dst] = append(g.in[dst], id)
+	g.version++
 	return id
 }
 
@@ -264,13 +277,30 @@ func (g *Graph) FindEdge(src, dst VertexID) EdgeID {
 }
 
 // FindVertexByName returns the first vertex with the given name, or NoVertex.
+// When a current Frozen snapshot exists (the collector freezes PAGs after
+// construction) the lookup uses its name index in O(1); on a graph mutated
+// since the last Frozen() it falls back to the linear scan.
 func (g *Graph) FindVertexByName(name string) VertexID {
+	if f := g.currentFrozen(); f != nil {
+		return f.VertexByName(name)
+	}
 	for i := range g.vertices {
 		if g.vertices[i].Name == name {
 			return VertexID(i)
 		}
 	}
 	return NoVertex
+}
+
+// currentFrozen returns the cached Frozen snapshot if it is still valid, or
+// nil. Unlike Frozen() it never builds one.
+func (g *Graph) currentFrozen() *Frozen {
+	g.frozenMu.Lock()
+	defer g.frozenMu.Unlock()
+	if g.frozen != nil && g.frozen.version == g.version {
+		return g.frozen
+	}
+	return nil
 }
 
 // VerticesWhere returns the IDs of all vertices for which pred returns true,

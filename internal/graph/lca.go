@@ -1,38 +1,78 @@
 package graph
 
+import "math/bits"
+
 // Lowest common ancestor on DAGs, used by the causal-analysis pass
 // (paper §4.3.2 C). The goal is the deepest vertex that has both query
 // vertices as descendants, where "deepest" means maximal longest-path depth
 // from the roots, matching Schieber–Vishkin-style LCA generalized to DAGs.
-
-// LCAFinder answers lowest-common-ancestor queries on a fixed DAG. Building
-// one precomputes a topological order and per-vertex depths; each query then
-// intersects ancestor sets.
+//
+// The causal pass issues many queries against one PAG (every pair of
+// detected victims), so the finder is built for query reuse: ancestor sets
+// are packed []uint64 bitsets computed over the frozen CSR view, cached
+// across queries, and intersected word-wise; path reconstruction reuses
+// finder-local scratch. A finder is NOT safe for concurrent use — build one
+// per goroutine (they share the underlying Frozen snapshot, which is).
 type LCAFinder struct {
 	g      *Graph
-	depths []int
+	f      *Frozen
+	depths []int32
 	valid  bool
+	nwords int
+
+	// anc caches the ancestor bitset of every queried vertex.
+	anc map[VertexID][]uint64
+
+	// query scratch, reused across Query calls.
+	bfsQueue   []VertexID
+	seen       []bool
+	parentEdge []EdgeID
 }
 
 // NewLCAFinder prepares LCA queries on g. If g is cyclic the finder is
-// created but every query returns NoVertex.
+// created but every query returns NoVertex. Building one freezes g's
+// current structure; mutating g afterwards and reusing the finder panics.
 func NewLCAFinder(g *Graph) *LCAFinder {
-	depths, ok := g.Depths()
-	return &LCAFinder{g: g, depths: depths, valid: ok}
+	f := g.Frozen()
+	depths, ok := f.Depths()
+	n := f.NumVertices()
+	return &LCAFinder{
+		g: g, f: f, depths: depths, valid: ok,
+		nwords:     (n + 63) / 64,
+		anc:        make(map[VertexID][]uint64, 16),
+		seen:       make([]bool, n),
+		parentEdge: make([]EdgeID, n),
+	}
 }
 
 // Valid reports whether the underlying graph was acyclic at construction.
 func (f *LCAFinder) Valid() bool { return f.valid }
 
-// ancestors returns the ancestor set of v (including v itself) as a boolean
-// slice indexed by VertexID, walking incoming edges.
-func (f *LCAFinder) ancestors(v VertexID) []bool {
-	anc := make([]bool, f.g.NumVertices())
-	f.g.ReverseBFS(v, func(u VertexID) bool {
-		anc[u] = true
-		return true
-	})
-	return anc
+// ancestorBits returns the ancestor set of v (including v itself) as a
+// bitset indexed by VertexID, computed by reverse BFS over the frozen
+// in-CSR and cached for subsequent queries.
+func (f *LCAFinder) ancestorBits(v VertexID) []uint64 {
+	if bs, ok := f.anc[v]; ok {
+		return bs
+	}
+	bs := make([]uint64, f.nwords)
+	fz := f.f
+	q := f.bfsQueue[:0]
+	q = append(q, v)
+	bs[v>>6] |= 1 << (uint(v) & 63)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, s := range fz.inSrc[fz.inStart[u]:fz.inStart[u+1]] {
+			w, bit := s>>6, uint64(1)<<(uint(s)&63)
+			if bs[w]&bit == 0 {
+				bs[w] |= bit
+				q = append(q, s)
+			}
+		}
+	}
+	f.bfsQueue = q[:0]
+	f.anc[v] = bs
+	return bs
 }
 
 // Query returns the deepest common ancestor of a and b and one path from
@@ -45,14 +85,21 @@ func (f *LCAFinder) Query(a, b VertexID) (lca VertexID, pathA, pathB []EdgeID) {
 	if !f.valid || !f.g.HasVertex(a) || !f.g.HasVertex(b) {
 		return NoVertex, nil, nil
 	}
-	ancA := f.ancestors(a)
-	ancB := f.ancestors(b)
+	ancA := f.ancestorBits(a)
+	ancB := f.ancestorBits(b)
+	// Word-wise AND; the deepest set bit wins, ties broken by lowest ID
+	// (ascending scan with strict comparison).
 	lca = NoVertex
-	best := -1
-	for i := range ancA {
-		if ancA[i] && ancB[i] && f.depths[i] > best {
-			best = f.depths[i]
-			lca = VertexID(i)
+	best := int32(-1)
+	for wi := range ancA {
+		w := ancA[wi] & ancB[wi]
+		for w != 0 {
+			i := VertexID(wi<<6 + bits.TrailingZeros64(w))
+			if f.depths[i] > best {
+				best = f.depths[i]
+				lca = i
+			}
+			w &= w - 1
 		}
 	}
 	if lca == NoVertex {
@@ -62,47 +109,50 @@ func (f *LCAFinder) Query(a, b VertexID) (lca VertexID, pathA, pathB []EdgeID) {
 }
 
 // pathDown returns edge IDs of one path from src down to dst, restricted to
-// vertices in the ancestor set anc of dst (which guarantees progress:
+// vertices in the ancestor bitset anc of dst (which guarantees progress:
 // every vertex in anc other than dst has at least one outgoing edge to
 // another anc member on a path to dst).
-func (f *LCAFinder) pathDown(src, dst VertexID, anc []bool) []EdgeID {
+func (f *LCAFinder) pathDown(src, dst VertexID, anc []uint64) []EdgeID {
 	if src == dst {
 		return nil
 	}
 	// BFS from src over edges whose destination is still an ancestor of dst
-	// (or dst itself), recording parents, then unwind.
-	g := f.g
-	parentEdge := make([]EdgeID, g.NumVertices())
-	for i := range parentEdge {
-		parentEdge[i] = NoEdge
-	}
-	seen := make([]bool, g.NumVertices())
-	seen[src] = true
-	queue := []VertexID{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	// (or dst itself), recording parents, then unwind. Scratch arrays are
+	// finder-local; only the result path allocates.
+	fz := f.f
+	q := f.bfsQueue[:0]
+	q = append(q, src)
+	f.seen[src] = true
+	for head := 0; head < len(q); head++ {
+		v := q[head]
 		if v == dst {
 			break
 		}
-		for _, eid := range g.out[v] {
-			d := g.edges[eid].Dst
-			if seen[d] || !anc[d] {
+		base := fz.outStart[v]
+		for k, d := range fz.outDst[base:fz.outStart[v+1]] {
+			if f.seen[d] || anc[d>>6]&(1<<(uint(d)&63)) == 0 {
 				continue
 			}
-			seen[d] = true
-			parentEdge[d] = eid
-			queue = append(queue, d)
+			f.seen[d] = true
+			f.parentEdge[d] = fz.outEdge[base+int32(k)]
+			q = append(q, d)
 		}
 	}
-	if !seen[dst] {
-		return nil
-	}
+	found := f.seen[dst]
 	var rev []EdgeID
-	for v := dst; v != src; {
-		eid := parentEdge[v]
-		rev = append(rev, eid)
-		v = g.edges[eid].Src
+	if found {
+		for v := dst; v != src; {
+			eid := f.parentEdge[v]
+			rev = append(rev, eid)
+			v = f.g.edges[eid].Src
+		}
+	}
+	for _, v := range q {
+		f.seen[v] = false
+	}
+	f.bfsQueue = q[:0]
+	if !found {
+		return nil
 	}
 	// Reverse to ancestor-to-descendant order.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {

@@ -75,9 +75,16 @@ func MatchSubgraph(data, query *Graph, opts MatchOptions) []Embedding {
 	}
 	m.order = matchOrder(query)
 
-	// Candidate sets per query vertex: all data vertices with a compatible
-	// label (pruning), or all data vertices (naive). The anchor restricts
-	// query vertex 0.
+	// Candidate sets per query vertex: drawn from the frozen label index
+	// (pruning with the default compatibility), filtered by a full scan for
+	// custom compatibility or wildcard labels, or all data vertices (naive).
+	// The anchor restricts query vertex 0. All paths enumerate candidates in
+	// ascending data-vertex ID, so the embedding order is identical across
+	// them.
+	var fz *Frozen
+	if !opts.DisableLabelPruning {
+		fz = data.Frozen()
+	}
 	m.cands = make([][]VertexID, nq)
 	for _, q := range m.order {
 		qv := query.Vertex(q)
@@ -93,6 +100,19 @@ func MatchSubgraph(data, query *Graph, opts MatchOptions) []Embedding {
 				all[i] = VertexID(i)
 			}
 			m.cands[q] = all
+			continue
+		}
+		if opts.VertexCompat == nil && qv.Label != WildcardLabel {
+			// Fast path: the label index already holds exactly the
+			// compatible vertices (ID-ascending); only degrees need checking.
+			byLabel := fz.VerticesWithLabel(qv.Label)
+			cands := make([]VertexID, 0, len(byLabel))
+			for _, dv := range byLabel {
+				if fz.OutDegree(dv) >= query.OutDegree(q) && fz.InDegree(dv) >= query.InDegree(q) {
+					cands = append(cands, dv)
+				}
+			}
+			m.cands[q] = cands
 			continue
 		}
 		m.cands[q] = data.VerticesWhere(func(dv *Vertex) bool {

@@ -235,14 +235,21 @@ func labelFor(n ir.Node) int {
 
 // addIRVertex creates a vertex for an IR node with identity attributes set.
 func (p *PAG) addIRVertex(n ir.Node) graph.VertexID {
+	id := addIRVertexTo(p.G, n)
+	p.nodeOf = append(p.nodeOf, nodeInfo(n).ID())
+	return id
+}
+
+// addIRVertexTo adds the vertex for an IR node to an arbitrary graph — the
+// final PAG or a per-rank build shard — with identity attributes set.
+func addIRVertexTo(g *graph.Graph, n ir.Node) graph.VertexID {
 	info := nodeInfo(n)
-	id := p.G.AddVertex(info.Name, labelFor(n))
-	v := p.G.Vertex(id)
+	id := g.AddVertex(info.Name, labelFor(n))
+	v := g.Vertex(id)
 	if dbg := info.Debug(); dbg != "" {
 		v.SetAttr(AttrDebug, dbg)
 	}
 	v.SetAttr(AttrKind, n.Kind())
-	p.nodeOf = append(p.nodeOf, info.ID())
 	return id
 }
 

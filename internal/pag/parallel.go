@@ -2,15 +2,27 @@ package pag
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"perflow/internal/graph"
 	"perflow/internal/ir"
 	"perflow/internal/trace"
 )
 
+// BuildOptions parameterizes parallel-view construction.
+type BuildOptions struct {
+	// Parallelism bounds the worker pool that ingests per-rank event
+	// streams; <= 0 uses all available cores, 1 forces the sequential path.
+	// The built PAG is byte-identical at every setting: each rank's flow is
+	// accumulated in its own shard and shards merge in rank order.
+	Parallelism int
+}
+
 // BuildParallel constructs the parallel view of the PAG (paper §3.4,
-// Figure 5) from a recorded run:
+// Figure 5) from a recorded run using all available cores:
 //
 //  1. one flow per process and per thread — the sequence of vertices the
 //     flow visited, in time order, with repeated visits to the same code
@@ -23,26 +35,120 @@ import (
 //     resource vertices for lock contention (the shape the contention-
 //     detection pattern matches).
 func BuildParallel(run *trace.Run) *PAG {
+	return BuildParallelOpts(run, BuildOptions{})
+}
+
+// BuildParallelOpts is BuildParallel with an explicit parallelism bound.
+//
+// Construction is sharded: every rank's event stream — vertices, intra-flow
+// and fork/join edges, metric accumulation — only ever touches that rank's
+// shard, so phase 1 runs embarrassingly parallel across a bounded worker
+// pool. Shards are then merged into the final graph in rank order (vertex
+// and edge IDs come out exactly as a sequential rank-by-rank build would
+// assign them), and the cross-rank phases — sync edges and resource
+// vertices — run on the merged graph. Output is deterministic and identical
+// for every Parallelism value.
+func BuildParallelOpts(run *trace.Run, opts BuildOptions) *PAG {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := buildShards(run, workers)
+
+	totalV, totalE := 0, 0
+	for _, sh := range shards {
+		totalV += sh.g.NumVertices()
+		totalE += sh.g.NumEdges()
+	}
 	p := &PAG{
-		G:        graph.New(1024, 2048),
+		G:        graph.New(totalV+64, totalE+len(run.Syncs)+64),
 		Prog:     run.Program,
 		View:     Parallel,
 		NRanks:   run.NRanks,
 		NThreads: run.ThreadsPerRank,
-		flowIdx:  make(map[FlowKey]graph.VertexID, 1024),
+		flowIdx:  make(map[FlowKey]graph.VertexID, totalV),
+	}
+	p.nodeOf = make([]ir.NodeID, 0, totalV+64)
+	b := &mergedBuilder{
+		p:       p,
+		run:     run,
+		streams: make(map[flowID][]graph.VertexID, 2*len(shards)),
+		edgeIdx: make(map[edgeKey]graph.EdgeID, totalE+len(run.Syncs)),
 	}
 
-	b := &parallelBuilder{p: p, run: run,
-		lastInFlow: map[flowID]graph.VertexID{},
-		streams:    map[flowID][]graph.VertexID{},
-		streamSet:  map[flowID]map[graph.VertexID]bool{},
+	// Deterministic merge: shards append in rank order, which reproduces the
+	// IDs a sequential rank-by-rank build assigns. Metric maps move, they
+	// are not copied — the shard graphs are discarded here.
+	for _, sh := range shards {
+		off := graph.VertexID(p.G.NumVertices())
+		for lv := 0; lv < sh.g.NumVertices(); lv++ {
+			v := sh.g.Vertex(graph.VertexID(lv))
+			id := p.G.AddVertex(v.Name, v.Label)
+			gv := p.G.Vertex(id)
+			gv.Metrics, gv.VecMetrics, gv.Attrs = v.Metrics, v.VecMetrics, v.Attrs
+			p.nodeOf = append(p.nodeOf, sh.nodeOf[lv])
+			p.flowIdx[sh.keys[lv]] = id
+		}
+		for le := 0; le < sh.g.NumEdges(); le++ {
+			e := sh.g.Edge(graph.EdgeID(le))
+			id := p.G.AddEdge(off+e.Src, off+e.Dst, e.Label)
+			ge := p.G.Edge(id)
+			ge.Metrics, ge.Attrs = e.Metrics, e.Attrs
+			b.edgeIdx[edgeKey{off + e.Src, off + e.Dst, e.Label}] = id
+		}
+		for th, stream := range sh.streams {
+			gs := make([]graph.VertexID, len(stream))
+			for i, v := range stream {
+				gs[i] = off + v
+			}
+			b.streams[flowID{rank: sh.rank, thread: th}] = gs
+		}
 	}
-	for rank := range run.Events {
-		b.buildRankFlows(int32(rank))
-	}
+
 	b.addSyncEdges()
 	b.addResourceVertices()
 	return p
+}
+
+// buildShards ingests every rank's event stream into its own shard, using a
+// pool of at most `workers` goroutines over an atomic work counter.
+func buildShards(run *trace.Run, workers int) []*rankShard {
+	shards := make([]*rankShard, len(run.Events))
+	forEachRank(len(shards), workers, func(r int) {
+		shards[r] = buildRankShard(run, int32(r))
+	})
+	return shards
+}
+
+// forEachRank runs fn(r) for every r in [0, n) on a pool of at most
+// `workers` goroutines fed by an atomic work counter; workers <= 1 runs
+// inline. fn must only touch rank-r state.
+func forEachRank(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for r := 0; r < n; r++ {
+			fn(r)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1) - 1)
+				if r >= n {
+					return
+				}
+				fn(r)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // flowID identifies one flow (rank-level when thread == -1).
@@ -51,35 +157,189 @@ type flowID struct {
 	thread int32
 }
 
-type parallelBuilder struct {
-	p   *PAG
-	run *trace.Run
+// edgeKey identifies an aggregated edge for O(1) ensureEdge dedup (the old
+// builder scanned the source's out-edge list per event).
+type edgeKey struct {
+	src, dst graph.VertexID
+	label    int
+}
 
-	lastInFlow map[flowID]graph.VertexID
-	streams    map[flowID][]graph.VertexID
-	streamSet  map[flowID]map[graph.VertexID]bool
+// rankShard accumulates one rank's flows in a private graph with local
+// vertex and edge IDs. No shard ever touches another shard's state, so
+// shards build concurrently without synchronization.
+type rankShard struct {
+	run  *trace.Run
+	rank int32
+
+	g       *graph.Graph
+	nodeOf  []ir.NodeID                   // per local vertex
+	keys    []FlowKey                     // per local vertex: its flow key
+	flowIdx map[FlowKey]graph.VertexID    // (rank,thread,node) -> local vertex
+	edgeIdx map[edgeKey]graph.EdgeID      // aggregated-edge dedup index
+	streams map[int32][]graph.VertexID    // per thread: flow vertex sequence
+	inStream   []bool                     // per local vertex: already in its stream
+	lastInFlow map[int32]graph.VertexID   // per thread: last vertex visited
 
 	// pendingJoins are thread-flow tails waiting for the next rank-level
 	// vertex to join to.
 	pendingJoins []graph.VertexID
 }
 
-func (b *parallelBuilder) inStream(fid flowID, v graph.VertexID) bool {
-	return b.streamSet[fid][v]
-}
-
-func (b *parallelBuilder) markInStream(fid flowID, v graph.VertexID) {
-	set := b.streamSet[fid]
-	if set == nil {
-		set = map[graph.VertexID]bool{}
-		b.streamSet[fid] = set
+func buildRankShard(run *trace.Run, rank int32) *rankShard {
+	evs := run.Events[rank]
+	sh := &rankShard{
+		run:        run,
+		rank:       rank,
+		g:          graph.New(64, 128),
+		flowIdx:    make(map[FlowKey]graph.VertexID, 64),
+		edgeIdx:    make(map[edgeKey]graph.EdgeID, 128),
+		streams:    make(map[int32][]graph.VertexID, 2),
+		lastInFlow: make(map[int32]graph.VertexID, 2),
 	}
-	set[v] = true
+	sh.build(evs)
+	return sh
 }
 
 // vertexFor returns (creating if needed) the flow vertex for an event's
-// (rank, thread, node).
-func (b *parallelBuilder) vertexFor(rank, thread int32, node ir.NodeID) graph.VertexID {
+// (thread, node) on this shard's rank.
+func (sh *rankShard) vertexFor(thread int32, node ir.NodeID) graph.VertexID {
+	k := FlowKey{Rank: sh.rank, Thread: thread, Node: node}
+	if v, ok := sh.flowIdx[k]; ok {
+		return v
+	}
+	n := sh.run.Program.Node(node)
+	var id graph.VertexID
+	if n != nil {
+		id = addIRVertexTo(sh.g, n)
+		sh.nodeOf = append(sh.nodeOf, nodeInfo(n).ID())
+	} else {
+		id = sh.g.AddVertex(fmt.Sprintf("node%d", node), VertexCompute)
+		sh.nodeOf = append(sh.nodeOf, node)
+	}
+	v := sh.g.Vertex(id)
+	v.SetMetric(MetricRank, float64(sh.rank))
+	v.SetMetric(MetricThread, float64(thread))
+	sh.flowIdx[k] = id
+	sh.keys = append(sh.keys, k)
+	sh.inStream = append(sh.inStream, false)
+	return id
+}
+
+// build walks the rank's event stream in order, extending the rank-level
+// flow and any thread flows, and wiring fork/join edges around parallel
+// regions.
+func (sh *rankShard) build(evs []trace.Event) {
+	for i := range evs {
+		e := &evs[i]
+		v := sh.vertexFor(e.Thread, e.Node)
+		accumulate(sh.g, v, e)
+
+		// A flow is the sequence of DISTINCT vertices in first-visit order
+		// (the paper's pre-order traversal): repeated visits from loop
+		// iterations aggregate into the existing vertex and add no edge, so
+		// flows stay acyclic.
+		if !sh.inStream[v] {
+			if last, seen := sh.lastInFlow[e.Thread]; seen && last != v {
+				sh.ensureEdge(last, v, EdgeIntraProc)
+			}
+			sh.streams[e.Thread] = append(sh.streams[e.Thread], v)
+			sh.inStream[v] = true
+		}
+		sh.lastInFlow[e.Thread] = v
+
+		if e.Thread >= 0 {
+			// First event of a thread flow hangs off nothing yet; the
+			// region event (emitted after its thread events) forks to it.
+			continue
+		}
+		// A rank-level event: if this is a region, fork to the thread flows
+		// recorded since the previous rank-level event; any pending thread
+		// tails join here first.
+		for _, tail := range sh.pendingJoins {
+			sh.ensureEdge(tail, v, EdgeInterThread)
+		}
+		sh.pendingJoins = sh.pendingJoins[:0]
+		if e.Kind == trace.KindRegion {
+			sh.forkJoinRegion(v, i, evs)
+		}
+	}
+}
+
+// forkJoinRegion adds fork edges from the region vertex to the first vertex
+// of each thread flow whose events lie inside the region span, and queues
+// their last vertices for joining to the next rank-level vertex.
+func (sh *rankShard) forkJoinRegion(regionV graph.VertexID, regionIdx int, evs []trace.Event) {
+	region := &evs[regionIdx]
+	firstOf := map[int32]graph.VertexID{}
+	lastOf := map[int32]graph.VertexID{}
+	for i := regionIdx - 1; i >= 0; i-- {
+		e := &evs[i]
+		if e.Thread < 0 {
+			break // previous rank-level event: past the region's thread block
+		}
+		if e.Start < region.Start-1e-9 {
+			break
+		}
+		v := sh.flowIdx[FlowKey{Rank: sh.rank, Thread: e.Thread, Node: e.Node}]
+		firstOf[e.Thread] = v // iterating backwards: last assignment wins = first event
+		if _, ok := lastOf[e.Thread]; !ok {
+			lastOf[e.Thread] = v
+		}
+	}
+	threads := make([]int32, 0, len(firstOf))
+	for t := range firstOf {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+	for _, t := range threads {
+		sh.ensureEdge(regionV, firstOf[t], EdgeInterThread)
+		sh.pendingJoins = append(sh.pendingJoins, lastOf[t])
+	}
+}
+
+// ensureEdge adds an edge src -> dst with the label unless one exists, and
+// bumps its count metric. Dedup is by index lookup, not an out-list scan.
+func (sh *rankShard) ensureEdge(src, dst graph.VertexID, label int) graph.EdgeID {
+	k := edgeKey{src, dst, label}
+	if eid, ok := sh.edgeIdx[k]; ok {
+		e := sh.g.Edge(eid)
+		e.SetMetric(MetricCount, e.Metric(MetricCount)+1)
+		return eid
+	}
+	eid := sh.g.AddEdge(src, dst, label)
+	sh.g.Edge(eid).SetMetric(MetricCount, 1)
+	sh.edgeIdx[k] = eid
+	return eid
+}
+
+// accumulate folds an event's measurements into its flow vertex.
+func accumulate(g *graph.Graph, v graph.VertexID, e *trace.Event) {
+	vert := g.Vertex(v)
+	vert.AddMetric(MetricTime, e.Dur())
+	vert.AddMetric(MetricExclTime, e.Dur())
+	vert.AddMetric(MetricCount, 1)
+	if e.Wait > 0 {
+		vert.AddMetric(MetricWait, e.Wait)
+	}
+	if e.Bytes > 0 {
+		vert.AddMetric(MetricBytes, e.Bytes)
+	}
+}
+
+// mergedBuilder runs the cross-rank construction phases on the merged
+// graph: sync edges (messages, rendezvous, collectives, locks) and the
+// synthetic resource vertices for lock contention.
+type mergedBuilder struct {
+	p       *PAG
+	run     *trace.Run
+	streams map[flowID][]graph.VertexID
+	edgeIdx map[edgeKey]graph.EdgeID
+}
+
+// vertexFor returns (creating if needed) the merged-graph flow vertex for
+// (rank, thread, node). Sync records can reference flows with no recorded
+// events; their vertices appear here, after all rank shards.
+func (b *mergedBuilder) vertexFor(rank, thread int32, node ir.NodeID) graph.VertexID {
 	k := FlowKey{Rank: rank, Thread: thread, Node: node}
 	if v, ok := b.p.flowIdx[k]; ok {
 		return v
@@ -99,113 +359,24 @@ func (b *parallelBuilder) vertexFor(rank, thread int32, node ir.NodeID) graph.Ve
 	return id
 }
 
-// buildRankFlows walks one rank's event stream in order, extending the
-// rank-level flow and any thread flows, and wiring fork/join edges around
-// parallel regions.
-func (b *parallelBuilder) buildRankFlows(rank int32) {
-	evs := b.run.Events[rank]
-	for i := range evs {
-		e := &evs[i]
-		fid := flowID{rank: rank, thread: e.Thread}
-		v := b.vertexFor(rank, e.Thread, e.Node)
-		b.accumulate(v, e)
-
-		// A flow is the sequence of DISTINCT vertices in first-visit order
-		// (the paper's pre-order traversal): repeated visits from loop
-		// iterations aggregate into the existing vertex and add no edge, so
-		// flows stay acyclic.
-		if !b.inStream(fid, v) {
-			if last, seen := b.lastInFlow[fid]; seen && last != v {
-				b.ensureEdge(last, v, EdgeIntraProc)
-			}
-			b.streams[fid] = append(b.streams[fid], v)
-			b.markInStream(fid, v)
-		}
-		b.lastInFlow[fid] = v
-
-		if e.Thread >= 0 {
-			// First event of a thread flow hangs off nothing yet; the
-			// region event (emitted after its thread events) forks to it.
-			continue
-		}
-		// A rank-level event: if this is a region, fork to the thread flows
-		// recorded since the previous rank-level event; any pending thread
-		// tails join here first.
-		for _, tail := range b.pendingJoins {
-			b.ensureEdge(tail, v, EdgeInterThread)
-		}
-		b.pendingJoins = b.pendingJoins[:0]
-		if e.Kind == trace.KindRegion {
-			b.forkJoinRegion(rank, v, i, evs)
-		}
-	}
-}
-
-// forkJoinRegion adds fork edges from the region vertex to the first vertex
-// of each thread flow whose events lie inside the region span, and queues
-// their last vertices for joining to the next rank-level vertex.
-func (b *parallelBuilder) forkJoinRegion(rank int32, regionV graph.VertexID, regionIdx int, evs []trace.Event) {
-	region := &evs[regionIdx]
-	firstOf := map[int32]graph.VertexID{}
-	lastOf := map[int32]graph.VertexID{}
-	for i := regionIdx - 1; i >= 0; i-- {
-		e := &evs[i]
-		if e.Thread < 0 {
-			break // previous rank-level event: past the region's thread block
-		}
-		if e.Start < region.Start-1e-9 {
-			break
-		}
-		v := b.p.flowIdx[FlowKey{Rank: rank, Thread: e.Thread, Node: e.Node}]
-		firstOf[e.Thread] = v // iterating backwards: last assignment wins = first event
-		if _, ok := lastOf[e.Thread]; !ok {
-			lastOf[e.Thread] = v
-		}
-	}
-	threads := make([]int32, 0, len(firstOf))
-	for t := range firstOf {
-		threads = append(threads, t)
-	}
-	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
-	for _, t := range threads {
-		b.ensureEdge(regionV, firstOf[t], EdgeInterThread)
-		b.pendingJoins = append(b.pendingJoins, lastOf[t])
-	}
-}
-
-// accumulate folds an event's measurements into its flow vertex.
-func (b *parallelBuilder) accumulate(v graph.VertexID, e *trace.Event) {
-	vert := b.p.G.Vertex(v)
-	vert.AddMetric(MetricTime, e.Dur())
-	vert.AddMetric(MetricExclTime, e.Dur())
-	vert.AddMetric(MetricCount, 1)
-	if e.Wait > 0 {
-		vert.AddMetric(MetricWait, e.Wait)
-	}
-	if e.Bytes > 0 {
-		vert.AddMetric(MetricBytes, e.Bytes)
-	}
-}
-
-// ensureEdge adds an edge src -> dst with the label unless one exists, and
-// bumps its count metric.
-func (b *parallelBuilder) ensureEdge(src, dst graph.VertexID, label int) graph.EdgeID {
-	for _, eid := range b.p.G.OutEdges(src) {
+// ensureEdge mirrors rankShard.ensureEdge on the merged graph.
+func (b *mergedBuilder) ensureEdge(src, dst graph.VertexID, label int) graph.EdgeID {
+	k := edgeKey{src, dst, label}
+	if eid, ok := b.edgeIdx[k]; ok {
 		e := b.p.G.Edge(eid)
-		if e.Dst == dst && e.Label == label {
-			e.SetMetric(MetricCount, e.Metric(MetricCount)+1)
-			return eid
-		}
+		e.SetMetric(MetricCount, e.Metric(MetricCount)+1)
+		return eid
 	}
 	eid := b.p.G.AddEdge(src, dst, label)
 	b.p.G.Edge(eid).SetMetric(MetricCount, 1)
+	b.edgeIdx[k] = eid
 	return eid
 }
 
 // addSyncEdges materializes the recorded cross-flow dependences as
 // inter-process (messages, rendezvous, collectives) and inter-thread (lock)
 // edges, aggregating repeats and accumulating wait/bytes.
-func (b *parallelBuilder) addSyncEdges() {
+func (b *mergedBuilder) addSyncEdges() {
 	for i := range b.run.Syncs {
 		se := &b.run.Syncs[i]
 		src := b.vertexFor(se.SrcRank, se.SrcThread, se.SrcNode)
@@ -230,7 +401,7 @@ func (b *parallelBuilder) addSyncEdges() {
 // (rank, lock) pair and wires the contention shape the detection pattern
 // searches for: every contending flow vertex points at the resource, and
 // the resource points at the continuation of every delayed flow.
-func (b *parallelBuilder) addResourceVertices() {
+func (b *mergedBuilder) addResourceVertices() {
 	type resKey struct {
 		rank int32
 		lock string
@@ -293,7 +464,7 @@ func (b *parallelBuilder) addResourceVertices() {
 // continuation returns the vertex following v in its flow stream. For a
 // thread-flow tail it follows the join edge to the rank-level vertex after
 // the parallel region; NoVertex if v is the very end of its flow.
-func (b *parallelBuilder) continuation(v graph.VertexID) graph.VertexID {
+func (b *mergedBuilder) continuation(v graph.VertexID) graph.VertexID {
 	vert := b.p.G.Vertex(v)
 	fid := flowID{rank: int32(vert.Metric(MetricRank)), thread: int32(vert.Metric(MetricThread))}
 	stream := b.streams[fid]

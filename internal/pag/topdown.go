@@ -1,6 +1,8 @@
 package pag
 
 import (
+	"runtime"
+
 	"perflow/internal/graph"
 	"perflow/internal/ir"
 	"perflow/internal/trace"
@@ -104,31 +106,127 @@ func (m PMUModel) withDefaults() PMUModel {
 // synthesized PMU counters become vertex metrics, with per-rank vectors
 // kept for imbalance analysis.
 func (p *PAG) EmbedRun(run *trace.Run, pmu PMUModel) {
+	p.EmbedRunParallel(run, pmu, BuildOptions{Parallelism: 1})
+}
+
+// embedAcc accumulates one rank's metric contributions to one vertex. The
+// fixed field set mirrors exactly the metrics EmbedRun writes; the `set`
+// bitmask records which ones this rank touched, so the merge creates the
+// same metric keys (including explicit zeros) as direct accumulation.
+type embedAcc struct {
+	set                         uint16
+	excl, count, wait, bytes    float64
+	cycles, instrs, cmiss, time float64
+	waitVec, timeVec            float64 // this rank's slot of the _vec metrics
+}
+
+const (
+	accExcl = 1 << iota
+	accCount
+	accWait
+	accBytes
+	accCycles
+	accInstrs
+	accCmiss
+	accTime
+	accWaitVec
+	accTimeVec
+)
+
+// EmbedRunParallel is EmbedRun with an explicit parallelism bound. Each
+// rank's events accumulate into a private shard — a flat per-vertex
+// accumulator array, so the hot loop does slice indexing instead of map
+// hashing — then shards merge in vertex order within rank order. Ranks
+// never share an accumulator slot and the shard phase only reads the PAG
+// (resolveCtx/VertexOf are pure lookups), so shards build concurrently.
+// Results are identical at every Parallelism setting; EmbedRun delegates
+// here, so the shard path is the only embedding path.
+func (p *PAG) EmbedRunParallel(run *trace.Run, pmu PMUModel, opts BuildOptions) {
 	pmu = pmu.withDefaults()
 	p.NRanks = run.NRanks
 	p.NThreads = run.ThreadsPerRank
-	run.ForEach(func(e *trace.Event) {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nv := p.G.NumVertices()
+	shards := make([][]embedAcc, len(run.Events))
+	forEachRank(len(shards), workers, func(r int) {
+		shards[r] = p.embedRankShard(run, r, nv, pmu)
+	})
+	for rank, accs := range shards {
+		for vi := range accs {
+			a := &accs[vi]
+			if a.set == 0 {
+				continue
+			}
+			v := p.G.Vertex(graph.VertexID(vi))
+			if a.set&accExcl != 0 {
+				v.AddMetric(MetricExclTime, a.excl)
+			}
+			if a.set&accCount != 0 {
+				v.AddMetric(MetricCount, a.count)
+			}
+			if a.set&accWait != 0 {
+				v.AddMetric(MetricWait, a.wait)
+			}
+			if a.set&accBytes != 0 {
+				v.AddMetric(MetricBytes, a.bytes)
+			}
+			if a.set&accCycles != 0 {
+				v.AddMetric(MetricCycles, a.cycles)
+			}
+			if a.set&accInstrs != 0 {
+				v.AddMetric(MetricInstrs, a.instrs)
+			}
+			if a.set&accCmiss != 0 {
+				v.AddMetric(MetricCacheMiss, a.cmiss)
+			}
+			if a.set&accTime != 0 {
+				v.AddMetric(MetricTime, a.time)
+			}
+			if a.set&accWaitVec != 0 {
+				v.AddVecAt(MetricWait+"_vec", rank, a.waitVec)
+			}
+			if a.set&accTimeVec != 0 {
+				v.AddVecAt(MetricTime+"_vec", rank, a.timeVec)
+			}
+		}
+	}
+}
+
+// embedRankShard folds one rank's events into a fresh accumulator array,
+// mirroring the per-event logic of the paper's data-embedding step.
+func (p *PAG) embedRankShard(run *trace.Run, rank, nv int, pmu PMUModel) []embedAcc {
+	accs := make([]embedAcc, nv)
+	evs := run.Events[rank]
+	for i := range evs {
+		e := &evs[i]
 		leaf := p.resolveCtx(run.CCT, e.Ctx, e.Node)
 		if leaf == graph.NoVertex {
-			return
+			continue
 		}
-		v := p.G.Vertex(leaf)
+		a := &accs[leaf]
 		dur := e.Dur()
-		rank := int(e.Rank)
-		v.AddMetric(MetricExclTime, dur)
-		v.AddMetric(MetricCount, 1)
+		a.excl += dur
+		a.count++
+		a.set |= accExcl | accCount
 		if e.Wait > 0 {
-			v.AddMetric(MetricWait, e.Wait)
-			v.AddVecAt(MetricWait+"_vec", rank, e.Wait)
+			a.wait += e.Wait
+			a.waitVec += e.Wait
+			a.set |= accWait | accWaitVec
 		}
 		if e.Bytes > 0 {
-			v.AddMetric(MetricBytes, e.Bytes)
+			a.bytes += e.Bytes
+			a.set |= accBytes
 		}
 		if e.Kind == trace.KindCompute {
-			v.AddMetric(MetricCycles, dur*pmu.CyclesPerUS)
+			a.cycles += dur * pmu.CyclesPerUS
+			a.set |= accCycles
 			if n, ok := p.Prog.Node(e.Node).(*ir.Compute); ok {
-				v.AddMetric(MetricInstrs, dur*n.Flops*pmu.InstrPerFlop*pmu.CyclesPerUS)
-				v.AddMetric(MetricCacheMiss, dur*n.MemBytes*pmu.CyclesPerUS/pmu.CacheLineBytes)
+				a.instrs += dur * n.Flops * pmu.InstrPerFlop * pmu.CyclesPerUS
+				a.cmiss += dur * n.MemBytes * pmu.CyclesPerUS / pmu.CacheLineBytes
+				a.set |= accInstrs | accCmiss
 			}
 		}
 		// Inclusive time along the full calling context. Thread-level events
@@ -140,15 +238,18 @@ func (p *PAG) EmbedRun(run *trace.Run, pmu PMUModel) {
 				if av == graph.NoVertex {
 					continue
 				}
-				anc := p.G.Vertex(av)
-				anc.AddMetric(MetricTime, dur)
-				anc.AddVecAt(MetricTime+"_vec", rank, dur)
+				aa := &accs[av]
+				aa.time += dur
+				aa.timeVec += dur
+				aa.set |= accTime | accTimeVec
 			}
 		} else {
-			v.AddMetric(MetricTime, dur)
-			v.AddVecAt(MetricTime+"_vec", rank, dur)
+			a.time += dur
+			a.timeVec += dur
+			a.set |= accTime | accTimeVec
 		}
-	})
+	}
+	return accs
 }
 
 // resolveCtx resolves an event to its top-down vertex by walking the

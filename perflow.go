@@ -113,6 +113,10 @@ type RunOptions struct {
 	// Tracing switches to full-event tracing collection (Scalasca-style),
 	// used by the overhead/storage comparisons.
 	Tracing bool
+	// Parallelism bounds the worker pool for sharded PAG construction and
+	// data embedding (cmd/pflow exposes it as -j); <= 0 uses all available
+	// cores. The built PAGs are identical at every setting.
+	Parallelism int
 }
 
 // PerFlow is the top-level handle, mirroring the paper's `pflow` object.
@@ -148,6 +152,7 @@ func (pf *PerFlow) Run(p *Program, opts RunOptions) (*Result, error) {
 		Threads:          opts.Threads,
 		Mode:             mode,
 		SkipParallelView: opts.SkipParallelView,
+		Parallelism:      opts.Parallelism,
 	})
 }
 
