@@ -12,18 +12,99 @@
 //	pflow -workload vite -ranks 8 -threads 8 -analysis contention
 //	pflow -workload lu -ranks 16 -analysis critical
 //	pflow -dsl prog.pfl -ranks 4 -analysis hotspot -dot out.dot
+//	pflow lint examples/dsl/*.pfl
+//	pflow lint -json -ranks 8 prog.pfl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"perflow"
 	"perflow/internal/interactive"
+	"perflow/internal/ir"
+	"perflow/internal/lint"
 )
 
+// runLint implements the "pflow lint" subcommand: run the static
+// diagnostics engine over DSL files without simulating them. Exits 1 when
+// any file fails to parse or has an error-severity finding; clean files
+// produce no output.
+func runLint(args []string) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	ranks := fs.Int("ranks", 0, "pin the analysis to one communicator size (0 = only findings that hold at every modeled size)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pflow lint [-json] [-ranks N] <file.pfl> ...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	exit := 0
+	var all []lint.Diagnostic
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pflow lint:", err)
+			exit = 1
+			continue
+		}
+		prog, err := ir.ParseLenient(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pflow lint: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		diags, err := lint.Run(prog, lint.Options{Ranks: *ranks})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pflow lint: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		if lint.HasErrors(diags) {
+			exit = 1
+		}
+		if *jsonOut {
+			all = append(all, diags...)
+			continue
+		}
+		var b strings.Builder
+		if err := lint.Write(&b, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "pflow lint:", err)
+			os.Exit(1)
+		}
+		// Prefix finding lines (not the indented related positions) with the
+		// DSL path so multi-file output stays attributable.
+		for _, line := range strings.SplitAfter(b.String(), "\n") {
+			if line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "\t") {
+				fmt.Print(path + ": ")
+			}
+			fmt.Print(line)
+		}
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, "pflow lint:", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(exit)
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		runLint(os.Args[2:])
+		return
+	}
 	var (
 		repl     = flag.Bool("interactive", false, "start the interactive analysis session (§4.5)")
 		list     = flag.Bool("list", false, "list built-in workloads and exit")

@@ -50,6 +50,19 @@ func (r *Report) WriteSet(w io.Writer, s *Set) error {
 	if r.MaxRows > 0 && len(s.V) > r.MaxRows {
 		fmt.Fprintf(w, "... (%d more)\n", len(s.V)-r.MaxRows)
 	}
+	var lintRows []string
+	for _, vid := range s.V {
+		v := s.PAG.G.Vertex(vid)
+		if f := v.Attr(pag.AttrLint); f != "" {
+			lintRows = append(lintRows, fmt.Sprintf("%s: %s", vertexDisplay(s.PAG, v), f))
+		}
+	}
+	if len(lintRows) > 0 {
+		fmt.Fprintln(w, "-- lint findings --")
+		for _, row := range lintRows {
+			fmt.Fprintln(w, row)
+		}
+	}
 	if len(s.E) > 0 {
 		fmt.Fprintf(w, "-- %d edges --\n", len(s.E))
 		m := len(s.E)

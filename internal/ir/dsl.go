@@ -60,11 +60,27 @@ func (e *ParseError) Error() string {
 
 // Parse reads a program in the DSL format and finalizes it.
 func Parse(r io.Reader) (*Program, error) {
+	prog, err := ParseLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseLenient reads a program in the DSL format and assigns node IDs, but
+// skips semantic validation, so programs with defects (undefined callees,
+// missing peers, and the like) still come back as positionable IR. The lint
+// driver uses it to report every finding in a bad program instead of
+// stopping at the first Validate error. Syntax errors still fail.
+func ParseLenient(r io.Reader) (*Program, error) {
 	p := &parser{scan: bufio.NewScanner(r), prog: &Program{Entry: "main"}}
 	if err := p.parse(); err != nil {
 		return nil, err
 	}
-	if err := p.prog.Finalize(); err != nil {
+	if err := p.prog.FinalizeStructure(); err != nil {
 		return nil, err
 	}
 	return p.prog, nil
@@ -76,9 +92,10 @@ func ParseString(s string) (*Program, error) {
 }
 
 type parser struct {
-	scan *bufio.Scanner
-	prog *Program
-	line int
+	scan    *bufio.Scanner
+	prog    *Program
+	line    int
+	pending []string // lint:disable codes waiting for the next statement
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -89,12 +106,52 @@ func (p *parser) next() ([]string, bool) {
 	for p.scan.Scan() {
 		p.line++
 		text := strings.TrimSpace(p.scan.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if codes, ok := parseLintDisable(text); ok {
+				p.pending = append(p.pending, codes...)
+			}
 			continue
 		}
 		return strings.Fields(text), true
 	}
 	return nil, false
+}
+
+// takeSuppress consumes the lint:disable codes accumulated from comments
+// since the previous statement.
+func (p *parser) takeSuppress() []string {
+	s := p.pending
+	p.pending = nil
+	return s
+}
+
+// parseLintDisable recognizes "# lint:disable" and "# lint:disable=CODE[,CODE]"
+// comment lines. A bare disable mutes everything ("all").
+func parseLintDisable(text string) ([]string, bool) {
+	rest := strings.TrimSpace(strings.TrimLeft(text, "#"))
+	if !strings.HasPrefix(rest, "lint:disable") {
+		return nil, false
+	}
+	rest = strings.TrimPrefix(rest, "lint:disable")
+	if rest == "" {
+		return []string{"all"}, true
+	}
+	if !strings.HasPrefix(rest, "=") {
+		return nil, false
+	}
+	var codes []string
+	for _, c := range strings.Split(rest[1:], ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			codes = append(codes, c)
+		}
+	}
+	if len(codes) == 0 {
+		return []string{"all"}, true
+	}
+	return codes, true
 }
 
 func (p *parser) parse() error {
@@ -127,8 +184,12 @@ func (p *parser) parse() error {
 			}
 			p.prog.Entry = tok[1]
 		case "func":
+			sup := p.takeSuppress()
 			if err := p.parseFunc(tok); err != nil {
 				return err
+			}
+			if len(sup) > 0 {
+				p.prog.Functions[len(p.prog.Functions)-1].SuppressLint(sup...)
 			}
 		default:
 			return p.errf("unexpected top-level statement %q", tok[0])
@@ -170,9 +231,13 @@ func (p *parser) parseBody(nodes *[]Node, file string, inParallel bool) error {
 		if tok[0] == "end" {
 			return nil
 		}
+		sup := p.takeSuppress()
 		n, err := p.parseStmt(tok, file, inParallel)
 		if err != nil {
 			return err
+		}
+		if len(sup) > 0 {
+			InfoOf(n).SuppressLint(sup...)
 		}
 		*nodes = append(*nodes, n)
 	}

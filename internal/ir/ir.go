@@ -122,14 +122,33 @@ func (k AllocKind) String() string {
 // Info carries the identity shared by all node types: a name/label, debug
 // info, and the ID assigned at finalize time.
 type Info struct {
-	id   NodeID
-	Name string
-	File string
-	Line int
+	id           NodeID
+	lintSuppress []string // diagnostic codes muted on this node ("all" mutes everything)
+	Name         string
+	File         string
+	Line         int
 }
 
 // ID returns the node's finalized ID (NoNode before Finalize).
 func (n *Info) ID() NodeID { return n.id }
+
+// SuppressLint mutes the given diagnostic codes on this node. The DSL
+// parser calls it for "# lint:disable=CODE[,CODE]" comments preceding a
+// statement; the special code "all" mutes every diagnostic.
+func (n *Info) SuppressLint(codes ...string) {
+	n.lintSuppress = append(n.lintSuppress, codes...)
+}
+
+// LintSuppressed reports whether the given diagnostic code is muted on
+// this node.
+func (n *Info) LintSuppressed(code string) bool {
+	for _, c := range n.lintSuppress {
+		if c == code || c == "all" {
+			return true
+		}
+	}
+	return false
+}
 
 // Debug returns "file:line", the paper's debug-info attribute.
 func (n *Info) Debug() string {
@@ -363,6 +382,25 @@ func (p *Program) Finalize() error {
 	if p.finalized {
 		return nil
 	}
+	if err := p.FinalizeStructure(); err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		p.finalized = false
+		return err
+	}
+	return nil
+}
+
+// FinalizeStructure assigns node IDs and builds the function index without
+// running semantic validation. It is the entry point for the lint driver,
+// which wants positionable node IDs even for programs Validate would
+// reject, so that every defect can be reported instead of only the
+// blocking ones. Like Finalize it is idempotent.
+func (p *Program) FinalizeStructure() error {
+	if p.finalized {
+		return nil
+	}
 	p.funcIdx = make(map[string]*Function, len(p.Functions))
 	for _, f := range p.Functions {
 		if _, dup := p.funcIdx[f.Name]; dup {
@@ -381,10 +419,6 @@ func (p *Program) Finalize() error {
 		p.assign(f)
 	}
 	p.finalized = true
-	if err := p.Validate(); err != nil {
-		p.finalized = false
-		return err
-	}
 	return nil
 }
 

@@ -1,105 +1,212 @@
 package ir
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
-// Validate checks structural invariants of a finalized program:
+// Codes identifying the structural violations Validate detects. The lint
+// driver (internal/lint) re-exposes each as an analyzer, so DSL suppression
+// comments ("# lint:disable=PF001") and lint reports share one vocabulary.
+const (
+	CodeUndefinedCall  = "PF001" // call to a function the program does not define
+	CodeMissingPeer    = "PF002" // point-to-point operation without a peer pattern
+	CodeMissingRequest = "PF003" // Isend/Irecv/Wait without a request name
+	CodeRecursion      = "PF004" // cycle in the static call graph
+	CodeNestedParallel = "PF005" // thread-parallel region nested inside another
+)
+
+// Violation is one structural defect of a program, with position data for
+// diagnostics. Validate aggregates them into an error; the lint driver
+// turns them into findings.
+type Violation struct {
+	Code   string
+	Fn     string // enclosing function
+	Node   NodeID // offending node (NoNode before Finalize)
+	File   string
+	Line   int
+	Detail string // bare message, no position ("call to undefined function ...")
+	Msg    string // full message with function and position, used by Validate
+}
+
+// Validate checks structural invariants of a program and reports every
+// violation found, joined into one error (nil when the program is clean):
 //
 //   - every non-external, non-indirect call targets a defined function;
 //   - Wait operations name a request; Isend/Irecv name a request;
 //   - point-to-point operations have a peer pattern;
-//   - thread-parallel regions are not nested;
+//   - thread-parallel regions are not nested, either directly or through
+//     calls into functions that contain parallel regions;
 //   - the static call graph (ignoring indirect calls) is acyclic, so the
 //     simulators terminate (recursion is out of scope for the cost model).
 func (p *Program) Validate() error {
-	var err error
-	inParallel := false
-	var walkNodes func(ns []Node, fn string) // declared for mutual recursion
-	check := func(n Node, fn string) {
-		if err != nil {
-			return
-		}
-		switch x := n.(type) {
-		case *Call:
-			if !x.External && !x.Indirect && p.Function(x.Callee) == nil {
-				err = fmt.Errorf("ir: %s: call to undefined function %q at %s", fn, x.Callee, x.Debug())
-			}
-		case *Comm:
-			switch x.Op {
-			case CommSend, CommRecv, CommIsend, CommIrecv, CommSendrecv:
-				if x.Peer.Kind == PeerNone {
-					err = fmt.Errorf("ir: %s: %s at %s has no peer", fn, x.Op, x.Debug())
-				}
-			}
-			switch x.Op {
-			case CommIsend, CommIrecv, CommWait:
-				if x.Req == "" {
-					err = fmt.Errorf("ir: %s: %s at %s has no request name", fn, x.Op, x.Debug())
-				}
-			}
-		case *Parallel:
-			if inParallel {
-				err = fmt.Errorf("ir: %s: nested parallel region %q at %s", fn, x.Name, x.Debug())
-				return
-			}
-			inParallel = true
-			walkNodes(x.Body, fn)
-			inParallel = false
-		}
+	vs := p.Violations()
+	if len(vs) == 0 {
+		return nil
 	}
-	walkNodes = func(ns []Node, fn string) {
+	errs := make([]error, len(vs))
+	for i, v := range vs {
+		errs[i] = errors.New(v.Msg)
+	}
+	return errors.Join(errs...)
+}
+
+// Violations collects all structural defects of the program in
+// deterministic order: per-node checks in declaration/pre-order, then
+// call-graph cycles.
+func (p *Program) Violations() []Violation {
+	var out []Violation
+	report := func(code, fn string, n Node, format string, args ...any) {
+		info := InfoOf(n)
+		detail := fmt.Sprintf(format, args...)
+		msg := fmt.Sprintf("ir: %s: %s", fn, detail)
+		if d := info.Debug(); d != "" {
+			msg += " at " + d
+		}
+		out = append(out, Violation{
+			Code:   code,
+			Fn:     fn,
+			Node:   info.ID(),
+			File:   info.File,
+			Line:   info.Line,
+			Detail: detail,
+			Msg:    msg,
+		})
+	}
+
+	bearsParallel := p.parallelBearers()
+
+	var walkNodes func(ns []Node, fn string, inParallel bool)
+	walkNodes = func(ns []Node, fn string, inParallel bool) {
 		for _, n := range ns {
-			if err != nil {
-				return
+			switch x := n.(type) {
+			case *Call:
+				if !x.External && !x.Indirect {
+					if p.Function(x.Callee) == nil {
+						report(CodeUndefinedCall, fn, n, "call to undefined function %q", x.Callee)
+					} else if inParallel && bearsParallel[x.Callee] {
+						report(CodeNestedParallel, fn, n,
+							"call to %q from inside a parallel region reaches a nested parallel region", x.Callee)
+					}
+				}
+			case *Comm:
+				switch x.Op {
+				case CommSend, CommRecv, CommIsend, CommIrecv, CommSendrecv:
+					if x.Peer.Kind == PeerNone {
+						report(CodeMissingPeer, fn, n, "%s has no peer", x.Op)
+					}
+				}
+				switch x.Op {
+				case CommIsend, CommIrecv, CommWait:
+					if x.Req == "" {
+						report(CodeMissingRequest, fn, n, "%s has no request name", x.Op)
+					}
+				}
+			case *Parallel:
+				if inParallel {
+					report(CodeNestedParallel, fn, n, "nested parallel region %q", x.Name)
+				}
+				walkNodes(x.Body, fn, true)
+				continue
 			}
-			check(n, fn)
-			if _, isPar := n.(*Parallel); !isPar { // Parallel recursed in check
-				walkNodes(n.Children(), fn)
-			}
+			walkNodes(n.Children(), fn, inParallel)
 		}
 	}
 	for _, f := range p.Functions {
-		walkNodes(f.Body, f.Name)
-		if err != nil {
-			return err
-		}
+		walkNodes(f.Body, f.Name, false)
 	}
-	return p.checkCallGraphAcyclic()
+	out = append(out, p.callGraphCycles()...)
+	return out
 }
 
-func (p *Program) checkCallGraphAcyclic() error {
+// parallelBearers reports, per function, whether its body or any function
+// transitively reachable from it through direct calls contains a Parallel
+// region. Cycles are broken by treating an in-progress function as not
+// bearing (recursion is reported separately).
+func (p *Program) parallelBearers() map[string]bool {
+	bears := make(map[string]bool, len(p.Functions))
+	state := make(map[string]int, len(p.Functions)) // 0=unvisited 1=visiting 2=done
+	var visit func(f *Function) bool
+	visit = func(f *Function) bool {
+		switch state[f.Name] {
+		case 1:
+			return false
+		case 2:
+			return bears[f.Name]
+		}
+		state[f.Name] = 1
+		found := false
+		var walk func(ns []Node)
+		walk = func(ns []Node) {
+			for _, n := range ns {
+				switch x := n.(type) {
+				case *Parallel:
+					found = true
+				case *Call:
+					if !x.External && !x.Indirect {
+						if callee := p.Function(x.Callee); callee != nil && visit(callee) {
+							found = true
+						}
+					}
+				}
+				walk(n.Children())
+			}
+		}
+		walk(f.Body)
+		state[f.Name] = 2
+		bears[f.Name] = found
+		return found
+	}
+	for _, f := range p.Functions {
+		visit(f)
+	}
+	return bears
+}
+
+// callGraphCycles finds cycles in the static call graph (ignoring indirect
+// and external calls) with a colored DFS, reporting each back edge once.
+func (p *Program) callGraphCycles() []Violation {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
+	var out []Violation
 	color := make(map[string]int, len(p.Functions))
-	var visit func(f *Function) error
-	visit = func(f *Function) error {
+	var visit func(f *Function)
+	visit = func(f *Function) {
 		color[f.Name] = gray
-		var err error
 		p.walkCalls(f.Body, func(c *Call) {
-			if err != nil || c.External || c.Indirect {
+			if c.External || c.Indirect {
 				return
 			}
 			callee := p.Function(c.Callee)
+			if callee == nil {
+				return // reported as CodeUndefinedCall
+			}
 			switch color[callee.Name] {
 			case gray:
-				err = fmt.Errorf("ir: recursive call cycle through %q at %s", c.Callee, c.Debug())
+				out = append(out, Violation{
+					Code:   CodeRecursion,
+					Fn:     f.Name,
+					Node:   c.ID(),
+					File:   c.File,
+					Line:   c.Line,
+					Detail: fmt.Sprintf("recursive call cycle through %q", c.Callee),
+					Msg:    fmt.Sprintf("ir: recursive call cycle through %q at %s", c.Callee, c.Debug()),
+				})
 			case white:
-				err = visit(callee)
+				visit(callee)
 			}
 		})
 		color[f.Name] = black
-		return err
 	}
 	for _, f := range p.Functions {
 		if color[f.Name] == white {
-			if err := visit(f); err != nil {
-				return err
-			}
+			visit(f)
 		}
 	}
-	return nil
+	return out
 }
 
 // walkCalls invokes fn for every Call in the node list, recursively.

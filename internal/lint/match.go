@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"perflow/internal/ir"
+)
+
+// Static point-to-point matching: with every rank's communication resolved
+// (walk.go), sends and receives aggregate into channels keyed by
+// (source, destination, tag). A send channel with no receive channel — or
+// mismatched operation counts — can never complete and is an error
+// (PF012); a matched channel whose sides disagree on message size is a
+// warning (PF014), since MPI permits a larger receive buffer but the model
+// is then measuring the wrong volume.
+func init() {
+	Register(Analyzer{
+		Name: "p2p-match", Code: "PF012", Severity: SevError,
+		Doc: "every point-to-point send needs a matching receive (peer, tag, count)",
+		Run: func(ps *Pass) { runMatch(ps, false) },
+	})
+	Register(Analyzer{
+		Name: "p2p-bytes", Code: "PF014", Severity: SevWarning,
+		Doc: "matched sends and receives should agree on message size",
+		Run: func(ps *Pass) { runMatch(ps, true) },
+	})
+}
+
+func runMatch(ps *Pass, bytesOnly bool) {
+	var perSize []map[diagKey]Diagnostic
+	for _, size := range ps.Sizes() {
+		m := map[diagKey]Diagnostic{}
+		for _, d := range matchFindings(ps, size, bytesOnly) {
+			k := diagKey{node: d.Node}
+			if _, dup := m[k]; !dup {
+				m[k] = d
+			}
+		}
+		perSize = append(perSize, m)
+	}
+	reportAtEverySize(ps, perSize)
+}
+
+// chKey identifies a point-to-point channel.
+type chKey struct{ src, dst, tag int }
+
+// chSide aggregates one side of a channel.
+type chSide struct {
+	count float64 // total operations, weighted by loop multiplicity
+	bytes float64 // total bytes (count-weighted)
+	node  *ir.Comm
+	op    ir.CommKind
+	fn    string
+}
+
+func accumulate(m map[chKey]*chSide, k chKey, o commOp) {
+	s := m[k]
+	if s == nil {
+		s = &chSide{node: o.node, op: o.op, fn: o.fn}
+		m[k] = s
+	}
+	s.count += o.mult
+	s.bytes += o.mult * o.bytes
+}
+
+func matchFindings(ps *Pass, size int, bytesOnly bool) []Diagnostic {
+	sends := map[chKey]*chSide{}
+	recvs := map[chKey]*chSide{}
+	for r := 0; r < size; r++ {
+		for _, o := range ps.Comms(r, size) {
+			if o.peer < 0 {
+				continue // missing or unresolvable peer; PF002 territory
+			}
+			switch o.op {
+			case ir.CommSend, ir.CommIsend:
+				accumulate(sends, chKey{src: r, dst: o.peer, tag: o.node.Tag}, o)
+			case ir.CommRecv, ir.CommIrecv:
+				accumulate(recvs, chKey{src: o.peer, dst: r, tag: o.node.Tag}, o)
+			}
+		}
+	}
+
+	// One finding per anchor node: a single send statement generates a
+	// channel per rank pair, so defects collapse to the statement with the
+	// affected pair count and the smallest pair as the example.
+	type nodeAgg struct {
+		d     Diagnostic
+		pairs int
+	}
+	aggs := map[ir.NodeID]*nodeAgg{}
+	record := func(d Diagnostic) {
+		if a, ok := aggs[d.Node]; ok {
+			a.pairs++
+		} else {
+			aggs[d.Node] = &nodeAgg{d: d, pairs: 1}
+		}
+	}
+
+	for _, k := range sortedKeys(sends) {
+		s := sends[k]
+		rv, matched := recvs[k]
+		switch {
+		case !matched && !bytesOnly:
+			d := ps.diag(s.node, s.fn,
+				"%s rank %d -> rank %d (tag %d) has no matching receive", s.op, k.src, k.dst, k.tag)
+			if hint := tagHint(recvs, k); hint != nil {
+				d.Related = append(d.Related, *hint)
+			}
+			record(d)
+		case matched && !bytesOnly && !closeEnough(s.count, rv.count):
+			d := ps.diag(s.node, s.fn,
+				"%s rank %d -> rank %d (tag %d): %s sends but %s receives", s.op, k.src, k.dst, k.tag,
+				trimFloat(s.count), trimFloat(rv.count))
+			d.Related = append(d.Related, related(rv.node, "matching %s here", rv.op))
+			record(d)
+		case matched && bytesOnly && closeEnough(s.count, rv.count) &&
+			!closeEnough(s.bytes/s.count, rv.bytes/rv.count):
+			d := ps.diag(s.node, s.fn,
+				"%s rank %d -> rank %d (tag %d) sends %s bytes but the receive posts %s bytes",
+				s.op, k.src, k.dst, k.tag, trimFloat(s.bytes/s.count), trimFloat(rv.bytes/rv.count))
+			d.Related = append(d.Related, related(rv.node, "matching %s here", rv.op))
+			record(d)
+		}
+	}
+	if !bytesOnly {
+		for _, k := range sortedKeys(recvs) {
+			if _, matched := sends[k]; matched {
+				continue
+			}
+			rv := recvs[k]
+			d := ps.diag(rv.node, rv.fn,
+				"%s at rank %d from rank %d (tag %d) has no matching send", rv.op, k.dst, k.src, k.tag)
+			if hint := tagHintSend(sends, k); hint != nil {
+				d.Related = append(d.Related, *hint)
+			}
+			record(d)
+		}
+	}
+
+	var out []Diagnostic
+	for _, a := range aggs {
+		if a.pairs > 1 {
+			a.d.Message += fmt.Sprintf(" (%d rank pairs affected)", a.pairs)
+		}
+		out = append(out, a.d)
+	}
+	return out
+}
+
+// tagHint finds a receive on the same rank pair under a different tag —
+// the classic tag-mismatch typo — and points at it.
+func tagHint(recvs map[chKey]*chSide, k chKey) *Related {
+	for _, rk := range sortedKeys(recvs) {
+		if rk.src == k.src && rk.dst == k.dst && rk.tag != k.tag {
+			r := related(recvs[rk].node, "rank %d receives from rank %d with tag %d here", rk.dst, rk.src, rk.tag)
+			return &r
+		}
+	}
+	return nil
+}
+
+// tagHintSend is tagHint for the send side.
+func tagHintSend(sends map[chKey]*chSide, k chKey) *Related {
+	for _, sk := range sortedKeys(sends) {
+		if sk.src == k.src && sk.dst == k.dst && sk.tag != k.tag {
+			r := related(sends[sk].node, "rank %d sends to rank %d with tag %d here", sk.src, sk.dst, sk.tag)
+			return &r
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[chKey]*chSide) []chKey {
+	keys := make([]chKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	return keys
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > scale {
+		scale = b
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}
+
+// trimFloat renders a float without trailing zeros (counts are usually
+// whole numbers; loop multiplicities can make them fractional).
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,45 @@
+package lint
+
+import "perflow/internal/ir"
+
+// The structural analyzers re-expose ir.Validate's checks through the lint
+// driver, so there is exactly one diagnostics path: Validate joins the
+// violations into an error for Finalize, the analyzers below turn the same
+// violations into positioned findings.
+func init() {
+	for _, a := range []struct {
+		name, code, doc string
+	}{
+		{"undefined-call", ir.CodeUndefinedCall,
+			"calls must target a function defined in the program"},
+		{"missing-peer", ir.CodeMissingPeer,
+			"point-to-point operations need a peer pattern"},
+		{"missing-request", ir.CodeMissingRequest,
+			"nonblocking operations and waits need a request name"},
+		{"recursion", ir.CodeRecursion,
+			"the static call graph must be acyclic"},
+		{"nested-parallel", ir.CodeNestedParallel,
+			"thread-parallel regions must not nest, directly or through calls"},
+	} {
+		code := a.code
+		Register(Analyzer{
+			Name:     a.name,
+			Code:     a.code,
+			Doc:      a.doc,
+			Severity: SevError,
+			Run: func(ps *Pass) {
+				for _, v := range ps.Violations() {
+					if v.Code != code {
+						continue
+					}
+					ps.Report(Diagnostic{
+						Position: Position{File: v.File, Line: v.Line},
+						Fn:       v.Fn,
+						Node:     v.Node,
+						Message:  v.Detail,
+					})
+				}
+			},
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import "perflow/internal/ir"
+
+// eagerThreshold mirrors mpisim's default: sends at or below this many
+// bytes complete eagerly, larger sends rendezvous and block until the
+// receive is posted. The deadlock analyzer uses it to decide which sends
+// can participate in a blocking cycle.
+const eagerThreshold = 4096
+
+// commOp is one communication operation as one rank executes it, resolved
+// statically: peers, branch conditions, and loop trip counts are all
+// evaluable per (rank, size), so the per-rank sequence of MPI calls is
+// known without running the simulator.
+type commOp struct {
+	node  *ir.Comm
+	op    ir.CommKind // effective operation (Sendrecv splits into Isend+Irecv)
+	fn    string      // enclosing function
+	peer  int         // resolved peer rank for p2p ops; -1 when unresolved
+	mult  float64     // execution count from enclosing loop trip products
+	bytes float64
+}
+
+// rankComms resolves the communication sequence of one rank: a DFS from
+// the entry function in execution order, taking branches whose condition
+// is nonzero for the rank, entering loops once with multiplicity scaled by
+// the trip count, and following direct calls (external, indirect, and
+// undefined callees are skipped; recursion is cut at the cycle, which the
+// recursion analyzer reports separately). Sendrecv is expanded to an
+// Isend toward the peer plus an Irecv from the symmetric partner, exactly
+// as mpisim executes it.
+func rankComms(prog *ir.Program, rank, nranks int) []commOp {
+	entry := prog.Function(prog.Entry)
+	if entry == nil {
+		return nil
+	}
+	var out []commOp
+	onStack := map[string]bool{entry.Name: true}
+	var walk func(ns []ir.Node, fn string, mult float64)
+	walk = func(ns []ir.Node, fn string, mult float64) {
+		for _, n := range ns {
+			switch x := n.(type) {
+			case *ir.Comm:
+				emit := func(op ir.CommKind, peer ir.Peer) {
+					o := commOp{node: x, op: op, fn: fn, peer: -1, mult: mult,
+						bytes: x.Bytes.Value(rank, nranks)}
+					switch op {
+					case ir.CommSend, ir.CommRecv, ir.CommIsend, ir.CommIrecv:
+						o.peer = peer.Resolve(rank, nranks)
+					}
+					out = append(out, o)
+				}
+				if x.Op == ir.CommSendrecv {
+					emit(ir.CommIsend, x.Peer)
+					emit(ir.CommIrecv, symmetricPeer(x.Peer))
+				} else {
+					emit(x.Op, x.Peer)
+				}
+			case *ir.Branch:
+				if x.Taken.Value(rank, nranks) != 0 {
+					walk(x.Body, fn, mult)
+				}
+			case *ir.Loop:
+				if trips := x.Trips.Value(rank, nranks); trips > 0 {
+					walk(x.Body, fn, mult*trips)
+				}
+			case *ir.Call:
+				if x.External || x.Indirect || onStack[x.Callee] {
+					continue
+				}
+				callee := prog.Function(x.Callee)
+				if callee == nil {
+					continue
+				}
+				onStack[x.Callee] = true
+				walk(callee.Body, x.Callee, mult)
+				onStack[x.Callee] = false
+			default:
+				walk(n.Children(), fn, mult)
+			}
+		}
+	}
+	walk(entry.Body, entry.Name, 1)
+	return out
+}
+
+// symmetricPeer inverts a peer pattern, mirroring mpisim's
+// symmetricPartner: the receive half of a Sendrecv comes from the rank
+// whose send targets us. Right and Left invert each other, the four
+// halo2d directions pair up (+x/-x, +y/-y), and Const and Xor are their
+// own inverse.
+func symmetricPeer(p ir.Peer) ir.Peer {
+	switch p.Kind {
+	case ir.PeerRight:
+		return ir.Peer{Kind: ir.PeerLeft, Arg: p.Arg}
+	case ir.PeerLeft:
+		return ir.Peer{Kind: ir.PeerRight, Arg: p.Arg}
+	case ir.PeerHalo2D:
+		inv := [...]int{1, 0, 3, 2}
+		if p.Arg >= 0 && p.Arg < len(inv) {
+			return ir.Peer{Kind: ir.PeerHalo2D, Arg: inv[p.Arg]}
+		}
+	}
+	return p
+}

@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"testing"
+
+	"perflow/internal/workloads"
+)
+
+// TestWorkloadsHaveNoErrorFindings asserts every built-in workload model
+// lints without error-severity findings — perflow.Run lints before
+// simulating and fails fast on errors, so a false positive here would
+// brick every analysis of that workload. Warnings and infos are allowed
+// (the models deliberately include unreferenced module scaffolding, which
+// the reachability analyzer reports at info severity).
+func TestWorkloadsHaveNoErrorFindings(t *testing.T) {
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := Run(prog, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range Errors(diags) {
+				t.Errorf("%s: unexpected error finding %s: %s [%s]", name, d.Position, d.Message, d.Code)
+			}
+		})
+	}
+}

@@ -122,6 +122,7 @@ const (
 	AttrKind       = "kind"  // IR node kind tag
 	AttrUnresolved = "unresolved"
 	AttrLock       = "lock" // resource vertices: lock name
+	AttrLint       = "lint" // "CODE: message" findings attached by AttachDiagnostics
 )
 
 // View distinguishes the two PAG views.

@@ -31,6 +31,7 @@ import (
 	"perflow/internal/collector"
 	"perflow/internal/core"
 	"perflow/internal/ir"
+	"perflow/internal/lint"
 	"perflow/internal/pag"
 	"perflow/internal/trace"
 	"perflow/internal/viz"
@@ -77,7 +78,30 @@ type (
 	ScalabilityResult = core.ScalabilityResult
 	// MPIProfileRow is one row of the MPI profiler paradigm.
 	MPIProfileRow = core.MPIProfileRow
+	// Diagnostic is one static-analysis finding from the lint engine.
+	Diagnostic = lint.Diagnostic
+	// LintError is the failure Run returns when a program has
+	// error-severity lint findings; it carries every finding of the run.
+	LintError = lint.Error
 )
+
+// Lint severity levels, re-exported for inspecting Diagnostics.
+const (
+	SevInfo    = lint.SevInfo
+	SevWarning = lint.SevWarning
+	SevError   = lint.SevError
+)
+
+// Lint statically analyzes a program with the registered analyzers and
+// returns its findings (see internal/lint). ranks fixes the communicator
+// size; 0 models several sizes and keeps only findings that hold at every
+// one, the robust default Run uses.
+func Lint(p *Program, ranks int) ([]Diagnostic, error) {
+	return lint.Run(p, lint.Options{Ranks: ranks})
+}
+
+// WriteDiagnostics renders lint findings in the compiler-style text format.
+func WriteDiagnostics(w io.Writer, diags []Diagnostic) error { return lint.Write(w, diags) }
 
 // NewPerFlowGraph returns an empty dataflow graph for custom analysis tasks.
 func NewPerFlowGraph() *PerFlowGraph { return core.NewPerFlowGraph() }
@@ -117,6 +141,11 @@ type RunOptions struct {
 	// data embedding (cmd/pflow exposes it as -j); <= 0 uses all available
 	// cores. The built PAGs are identical at every setting.
 	Parallelism int
+	// SkipLint disables the static diagnostics pass that runs before
+	// simulation. By default Run fails fast with a *LintError when the
+	// program has error-severity findings and attaches warning-severity
+	// findings to the matching PAG vertices (attribute "lint").
+	SkipLint bool
 }
 
 // PerFlow is the top-level handle, mirroring the paper's `pflow` object.
@@ -136,6 +165,12 @@ func New() *PerFlow { return &PerFlow{Out: os.Stdout} }
 // Run executes the program under the simulator, performs hybrid
 // static-dynamic collection, and returns the PAG views — the equivalent of
 // the paper's pflow.run(bin=..., cmd="mpirun -np N ...").
+//
+// Before burning simulation time, the static diagnostics engine lints the
+// program (unless opts.SkipLint): error-severity findings abort the run
+// with a *LintError, and warning-severity findings are attached to the
+// matching top-down PAG vertices under the "lint" attribute so passes and
+// reports surface them.
 func (pf *PerFlow) Run(p *Program, opts RunOptions) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("perflow: nil program")
@@ -143,17 +178,41 @@ func (pf *PerFlow) Run(p *Program, opts RunOptions) (*Result, error) {
 	if opts.Ranks <= 0 {
 		opts.Ranks = 4
 	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	if !opts.SkipLint {
+		var err error
+		// Size-robust mode: only findings that hold at every modeled
+		// communicator size are reported, so programs shaped for a specific
+		// size do not fail at others.
+		diags, err = lint.Run(p, lint.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if lint.HasErrors(diags) {
+			return nil, &lint.Error{Diagnostics: diags}
+		}
+	}
 	mode := collector.ModeHybrid
 	if opts.Tracing {
 		mode = collector.ModeTracing
 	}
-	return collector.Collect(p, collector.Options{
+	res, err := collector.Collect(p, collector.Options{
 		Ranks:            opts.Ranks,
 		Threads:          opts.Threads,
 		Mode:             mode,
 		SkipParallelView: opts.SkipParallelView,
 		Parallelism:      opts.Parallelism,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if len(diags) > 0 {
+		res.TopDown.AttachDiagnostics(diags)
+	}
+	return res, nil
 }
 
 // RunWorkload runs one of the built-in workload models (the synthetic NPB

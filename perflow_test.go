@@ -2,6 +2,7 @@ package perflow_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -279,5 +280,74 @@ func TestGPUWorkloadFacade(t *testing.T) {
 	}
 	if kernels.Vertex(0).Metric(perflow.MetricExclTime) <= 0 {
 		t.Error("kernel time not embedded")
+	}
+}
+
+func TestRunFailsFastOnLintErrors(t *testing.T) {
+	// A structurally valid program with a leaked nonblocking request: the
+	// static diagnostics engine must abort the run with a *LintError before
+	// any simulation happens.
+	src := `program leaky
+func main file l.c line 1
+  mpi irecv line 3 to right bytes 64 tag 1 req r0
+  compute work line 4 cost 100
+end
+`
+	pf := perflow.New()
+	_, err := pf.RunDSL(strings.NewReader(src), perflow.RunOptions{Ranks: 4})
+	var lerr *perflow.LintError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("want *LintError, got %v", err)
+	}
+	found := false
+	for _, d := range lerr.Diagnostics {
+		if d.Code == "PF010" && d.Severity == perflow.SevError {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("LintError missing the PF010 finding: %+v", lerr.Diagnostics)
+	}
+	// SkipLint bypasses the gate; the program still simulates.
+	res, err := pf.RunDSL(strings.NewReader(src), perflow.RunOptions{Ranks: 4, SkipLint: true})
+	if err != nil {
+		t.Fatalf("SkipLint run: %v", err)
+	}
+	if res.Run.TotalTime() <= 0 {
+		t.Error("SkipLint program did not run")
+	}
+}
+
+func TestRunAttachesLintWarningsToPAG(t *testing.T) {
+	// Warning-severity findings must survive the run as the "lint"
+	// attribute on the matching top-down vertex and show up in reports.
+	src := `program warned
+func main file w.c line 1
+  loop dead line 3 trips 0
+    compute idle line 4 cost 5
+  end
+  compute work line 6 cost 100
+  mpi allreduce line 7 bytes 8
+end
+`
+	pf := perflow.New()
+	res, err := pf.RunDSL(strings.NewReader(src), perflow.RunOptions{Ranks: 4, SkipParallelView: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := pf.Filter(perflow.TopDownSet(res), "dead")
+	if loop.Len() != 1 {
+		t.Fatalf("loop vertex missing")
+	}
+	var buf bytes.Buffer
+	if err := pf.ReportTo(&buf, []string{"name", "time", "lint"}, loop); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PF021") {
+		t.Errorf("report missing the PF021 lint attribute:\n%s", out)
+	}
+	if !strings.Contains(out, "-- lint findings --") {
+		t.Errorf("report missing the lint findings section:\n%s", out)
 	}
 }
