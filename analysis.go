@@ -1,0 +1,124 @@
+package perflow
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Named analyses: the one-shot CLI (cmd/pflow) and the analysis service
+// (internal/serve) both resolve an analysis name to the same code path
+// here, so a served job produces byte-identical report output to the
+// equivalent CLI invocation.
+
+// analysisSpec describes one named analysis.
+type analysisSpec struct {
+	// needsParallel marks analyses that read the parallel view of the
+	// primary result (the large-scale result for scalability).
+	needsParallel bool
+	// needsLarge marks two-scale analyses (scalability).
+	needsLarge bool
+	run        func(ctx context.Context, pf *PerFlow, res, large *Result, top int, w io.Writer) (*Set, error)
+}
+
+var analyses = map[string]analysisSpec{
+	"profile": {run: func(ctx context.Context, pf *PerFlow, res, _ *Result, _ int, w io.Writer) (*Set, error) {
+		WriteMPIProfile(w, pf.MPIProfilerParadigm(res))
+		return nil, nil
+	}},
+	"hotspot": {run: func(ctx context.Context, pf *PerFlow, res, _ *Result, top int, w io.Writer) (*Set, error) {
+		hot := pf.HotspotDetection(TopDownSet(res), top)
+		if err := pf.ReportTo(w, []string{"name", "etime", "time", "count", "debug-info"}, hot); err != nil {
+			return nil, err
+		}
+		return hot, nil
+	}},
+	"comm": {run: func(ctx context.Context, pf *PerFlow, res, _ *Result, _ int, w io.Writer) (*Set, error) {
+		imb, _, err := pf.CommunicationAnalysisParadigmCtx(ctx, res, w)
+		return imb, err
+	}},
+	"scalability": {needsParallel: true, needsLarge: true,
+		run: func(ctx context.Context, pf *PerFlow, res, large *Result, _ int, w io.Writer) (*Set, error) {
+			sr, err := pf.ScalabilityAnalysisParadigmCtx(ctx, res, large, w)
+			if err != nil {
+				return nil, err
+			}
+			return sr.Backtracked, nil
+		}},
+	"contention": {needsParallel: true,
+		run: func(ctx context.Context, pf *PerFlow, res, _ *Result, _ int, w io.Writer) (*Set, error) {
+			found := pf.ContentionDetection(ParallelSet(res))
+			if err := pf.ReportTo(w, []string{"name", "label", "rank", "wait"}, found); err != nil {
+				return nil, err
+			}
+			return found, nil
+		}},
+	"critical": {needsParallel: true,
+		run: func(ctx context.Context, pf *PerFlow, res, _ *Result, _ int, w io.Writer) (*Set, error) {
+			return pf.CriticalPathParadigmCtx(ctx, res, w)
+		}},
+	"timeline": {run: func(ctx context.Context, pf *PerFlow, res, _ *Result, _ int, w io.Writer) (*Set, error) {
+		WriteTimeline(w, res.Run)
+		return nil, nil
+	}},
+	"waitstates": {run: func(ctx context.Context, pf *PerFlow, res, _ *Result, _ int, w io.Writer) (*Set, error) {
+		ws := pf.WaitStateAnalysis(pf.Filter(TopDownSet(res), "MPI_*"))
+		if err := pf.ReportTo(w, []string{"name", "wait", "waitstate", "debug-info"}, ws); err != nil {
+			return nil, err
+		}
+		return ws, nil
+	}},
+}
+
+// Analyses returns the names AnalyzeCtx accepts, sorted.
+func Analyses() []string {
+	names := make([]string, 0, len(analyses))
+	for n := range analyses {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KnownAnalysis reports whether name is a registered analysis.
+func KnownAnalysis(name string) bool {
+	_, ok := analyses[name]
+	return ok
+}
+
+// AnalysisNeedsParallelView reports whether the named analysis reads the
+// parallel view — callers collecting a Result for it must not set
+// RunOptions.SkipParallelView. For "scalability" the parallel view is
+// needed on the large-scale result only.
+func AnalysisNeedsParallelView(name string) bool {
+	return analyses[name].needsParallel
+}
+
+// AnalysisNeedsTwoScales reports whether the named analysis consumes a
+// second, large-scale result (scalability).
+func AnalysisNeedsTwoScales(name string) bool {
+	return analyses[name].needsLarge
+}
+
+// AnalyzeCtx applies one named analysis to collected results, writes its
+// report to w, and returns the highlighted result set (nil for report-only
+// analyses such as profile and timeline). large is the second, large-scale
+// result consumed only by two-scale analyses; pass nil otherwise. Paradigm
+// analyses leave their per-pass instrumentation in pf.LastTrace.
+func (pf *PerFlow) AnalyzeCtx(ctx context.Context, res, large *Result, analysis string, top int, w io.Writer) (*Set, error) {
+	spec, ok := analyses[analysis]
+	if !ok {
+		return nil, fmt.Errorf("perflow: unknown analysis %q (have %v)", analysis, Analyses())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("perflow: analysis %q needs a collected result", analysis)
+	}
+	if spec.needsLarge && large == nil {
+		return nil, fmt.Errorf("perflow: analysis %q needs a second (large-scale) result", analysis)
+	}
+	return spec.run(ctx, pf, res, large, top, w)
+}

@@ -14,12 +14,15 @@
 //	pflow -dsl prog.pfl -ranks 4 -analysis hotspot -dot out.dot
 //	pflow lint examples/dsl/*.pfl
 //	pflow lint -json -ranks 8 prog.pfl
+//	pflow serve -addr :7077 -workers 8 -queue 128 -cache-mb 64
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"perflow"
@@ -101,9 +104,15 @@ func runLint(args []string) {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "lint" {
-		runLint(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "lint":
+			runLint(os.Args[2:])
+			return
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		}
 	}
 	var (
 		repl     = flag.Bool("interactive", false, "start the interactive analysis session (§4.5)")
@@ -139,7 +148,7 @@ func main() {
 	}
 
 	pf := perflow.New()
-	load := func(opts perflow.RunOptions) (*perflow.Result, error) {
+	load := func(ctx context.Context, opts perflow.RunOptions) (*perflow.Result, error) {
 		opts.Parallelism = *par
 		if *loadPAG != "" {
 			return perflow.LoadPAGResult(*loadPAG)
@@ -151,9 +160,9 @@ func main() {
 				return nil, err
 			}
 			defer f.Close()
-			return pf.RunDSL(f, opts)
+			return pf.RunDSLCtx(ctx, f, opts)
 		case *workload != "":
-			return pf.RunWorkload(*workload, opts)
+			return pf.RunWorkloadCtx(ctx, *workload, opts)
 		default:
 			return nil, fmt.Errorf("pflow: need -workload or -dsl (try -list)")
 		}
@@ -164,97 +173,33 @@ func main() {
 		os.Exit(1)
 	}
 
-	var highlight *perflow.Set
-	switch *analysis {
-	case "profile":
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
-		if err != nil {
-			fail(err)
-		}
-		perflow.WriteMPIProfile(os.Stdout, pf.MPIProfilerParadigm(res))
-
-	case "hotspot":
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
-		if err != nil {
-			fail(err)
-		}
-		hot := pf.HotspotDetection(perflow.TopDownSet(res), *topN)
-		if err := pf.ReportTo(os.Stdout, []string{"name", "etime", "time", "count", "debug-info"}, hot); err != nil {
-			fail(err)
-		}
-		highlight = hot
-
-	case "comm":
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
-		if err != nil {
-			fail(err)
-		}
-		imb, _, err := pf.CommunicationAnalysisParadigm(res, os.Stdout)
-		if err != nil {
-			fail(err)
-		}
-		highlight = imb
-
-	case "scalability":
+	// The analysis itself runs through the shared perflow.AnalyzeCtx
+	// dispatcher — the same code path the `pflow serve` service uses, so a
+	// served job's report is byte-identical to this CLI invocation.
+	if !perflow.KnownAnalysis(*analysis) {
+		fail(fmt.Errorf("unknown analysis %q (have %v)", *analysis, perflow.Analyses()))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	needsPar := perflow.AnalysisNeedsParallelView(*analysis)
+	var res, large *perflow.Result
+	var err error
+	if perflow.AnalysisNeedsTwoScales(*analysis) {
 		if *ranks2 <= *ranks {
-			fail(fmt.Errorf("scalability analysis needs -ranks2 > -ranks"))
+			fail(fmt.Errorf("%s analysis needs -ranks2 > -ranks", *analysis))
 		}
-		small, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
-		if err != nil {
+		if res, err = load(ctx, perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true}); err != nil {
 			fail(err)
 		}
-		large, err := load(perflow.RunOptions{Ranks: *ranks2, Threads: *threads})
-		if err != nil {
+		if large, err = load(ctx, perflow.RunOptions{Ranks: *ranks2, Threads: *threads, SkipParallelView: !needsPar}); err != nil {
 			fail(err)
 		}
-		res, err := pf.ScalabilityAnalysisParadigm(small, large, os.Stdout)
-		if err != nil {
-			fail(err)
-		}
-		highlight = res.Backtracked
-
-	case "contention":
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads})
-		if err != nil {
-			fail(err)
-		}
-		found := pf.ContentionDetection(perflow.ParallelSet(res))
-		if err := pf.ReportTo(os.Stdout, []string{"name", "label", "rank", "wait"}, found); err != nil {
-			fail(err)
-		}
-		highlight = found
-
-	case "critical":
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads})
-		if err != nil {
-			fail(err)
-		}
-		cp, err := pf.CriticalPathParadigm(res, os.Stdout)
-		if err != nil {
-			fail(err)
-		}
-		highlight = cp
-
-	case "timeline":
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
-		if err != nil {
-			fail(err)
-		}
-		perflow.WriteTimeline(os.Stdout, res.Run)
-
-	case "waitstates":
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
-		if err != nil {
-			fail(err)
-		}
-		ws := pf.WaitStateAnalysis(pf.Filter(perflow.TopDownSet(res), "MPI_*"))
-		if err := pf.ReportTo(os.Stdout, []string{"name", "wait", "waitstate", "debug-info"}, ws); err != nil {
-			fail(err)
-		}
-		highlight = ws
-
-	default:
-		fail(fmt.Errorf("unknown analysis %q", *analysis))
+	} else if res, err = load(ctx, perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: !needsPar}); err != nil {
+		fail(err)
+	}
+	highlight, err := pf.AnalyzeCtx(ctx, res, large, *analysis, *topN, os.Stdout)
+	if err != nil {
+		fail(err)
 	}
 
 	if *trace {
@@ -266,7 +211,7 @@ func main() {
 	}
 
 	if *savePAG != "" {
-		res, err := load(perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
+		res, err := load(ctx, perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
 		if err != nil {
 			fail(err)
 		}

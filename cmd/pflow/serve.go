@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"perflow/internal/serve"
+)
+
+// runServe implements the "pflow serve" subcommand: the long-running
+// analysis service. SIGINT/SIGTERM trigger a graceful drain — the listener
+// stops accepting, queued and running jobs finish (up to -drain-timeout),
+// then the process exits.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", ":7077", "listen address")
+		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size")
+		queueDepth   = fs.Int("queue", 64, "job queue depth; submissions beyond it get 429")
+		cacheMB      = fs.Int("cache-mb", 64, "result cache byte budget in MiB")
+		jobTimeout   = fs.Duration("job-timeout", 60*time.Second, "per-job run timeout (requests may only lower it)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight jobs")
+		pprofOn      = fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pflow serve [-addr :7077] [-workers N] [-queue N] [-cache-mb N] [-job-timeout D] [-pprof]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	srv := serve.New(serve.Options{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheBytes:  int64(*cacheMB) << 20,
+		JobTimeout:  *jobTimeout,
+		EnablePprof: *pprofOn,
+	})
+	expvar.Publish("perflow_serve", srv.Metrics())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "pflow serve: listening on %s (%d workers, queue %d, cache %d MiB)\n",
+		*addr, *workers, *queueDepth, *cacheMB)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "pflow serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "pflow serve: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pflow serve: http shutdown:", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "pflow serve: drain:", err)
+	}
+	fmt.Fprintln(os.Stderr, "pflow serve: bye")
+}

@@ -1,0 +1,127 @@
+package perflow_test
+
+// End-to-end golden matrix: every shipped example DSL program and every
+// built-in workload runs through perflow.Run and the shared AnalyzeCtx
+// dispatcher at ranks 4 and 8, and the report output is snapshotted. The
+// simulator deals exclusively in virtual time, so reports are byte-stable
+// across runs, machines and -j settings; normalizeReport only guards
+// against incidental whitespace drift. Refactors of the serve/run path
+// cannot silently change analysis results without failing this matrix.
+//
+// Regenerate with: go test -run TestGoldenReports -update .
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perflow"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report snapshots")
+
+// goldenRanks are the scales of the matrix (the paper's mpirun -np 4
+// example plus the CLI default).
+var goldenRanks = []int{4, 8}
+
+// goldenAnalyses are the report-producing analyses snapshotted for every
+// program; both run on the top-down view only, keeping the matrix fast.
+var goldenAnalyses = []string{"profile", "hotspot"}
+
+// normalizeReport strips trailing whitespace per line and normalizes line
+// endings; all remaining bytes are deterministic virtual-time output and
+// compared exactly.
+func normalizeReport(s string) string {
+	lines := strings.Split(strings.ReplaceAll(s, "\r\n", "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " \t")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func goldenCase(t *testing.T, name string, ranks int, load func(pf *perflow.PerFlow, opts perflow.RunOptions) (*perflow.Result, error)) {
+	t.Helper()
+	pf := perflow.New()
+	var report bytes.Buffer
+	res, err := load(pf, perflow.RunOptions{Ranks: ranks, SkipParallelView: true})
+	if err != nil {
+		// Some example programs are shaped for a specific communicator
+		// size (pipeline.pfl ends its chain at rank 7) and deadlock at
+		// others; the diagnostic itself is the behavior to pin down.
+		fmt.Fprintf(&report, "==== run error ====\n%v\n", err)
+	} else {
+		for _, analysis := range goldenAnalyses {
+			fmt.Fprintf(&report, "==== %s ====\n", analysis)
+			if _, err := pf.AnalyzeCtx(context.Background(), res, nil, analysis, 10, &report); err != nil {
+				t.Fatalf("analyze %s: %v", analysis, err)
+			}
+		}
+	}
+	got := normalizeReport(report.String())
+
+	path := filepath.Join("testdata", "golden", fmt.Sprintf("%s_r%d.golden", name, ranks))
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenReports(t *testing.T) {
+	// Every built-in workload.
+	for _, name := range perflow.Workloads() {
+		name := name
+		for _, ranks := range goldenRanks {
+			ranks := ranks
+			t.Run(fmt.Sprintf("workload_%s_r%d", name, ranks), func(t *testing.T) {
+				t.Parallel()
+				goldenCase(t, "workload_"+name, ranks, func(pf *perflow.PerFlow, opts perflow.RunOptions) (*perflow.Result, error) {
+					return pf.RunWorkload(name, opts)
+				})
+			})
+		}
+	}
+	// Every shipped example DSL program (the bad/ fixtures are lint-error
+	// regression inputs, covered by their own golden tests).
+	paths, err := filepath.Glob(filepath.Join("examples", "dsl", "*.pfl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example DSL programs found")
+	}
+	for _, p := range paths {
+		p := p
+		base := strings.TrimSuffix(filepath.Base(p), ".pfl")
+		for _, ranks := range goldenRanks {
+			ranks := ranks
+			t.Run(fmt.Sprintf("dsl_%s_r%d", base, ranks), func(t *testing.T) {
+				t.Parallel()
+				goldenCase(t, "dsl_"+base, ranks, func(pf *perflow.PerFlow, opts perflow.RunOptions) (*perflow.Result, error) {
+					f, err := os.Open(p)
+					if err != nil {
+						return nil, err
+					}
+					defer f.Close()
+					return pf.RunDSL(f, opts)
+				})
+			})
+		}
+	}
+}

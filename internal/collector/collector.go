@@ -10,6 +10,7 @@
 package collector
 
 import (
+	"context"
 	"time"
 
 	"perflow/internal/ir"
@@ -96,6 +97,13 @@ type Result struct {
 
 // Collect runs the full pipeline on program p.
 func Collect(p *ir.Program, opts Options) (*Result, error) {
+	return CollectCtx(context.Background(), p, opts)
+}
+
+// CollectCtx is Collect under a caller-supplied context. Cancellation and
+// deadlines propagate into both simulator runs and are checked between the
+// pipeline phases, so a collection in flight aborts promptly with ctx.Err().
+func CollectCtx(ctx context.Context, p *ir.Program, opts Options) (*Result, error) {
 	if opts.Ranks <= 0 {
 		opts.Ranks = 1
 	}
@@ -118,7 +126,7 @@ func Collect(p *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// ---- clean reference run (no instrumentation) ----
-	clean, err := mpisim.Run(p, base)
+	clean, err := mpisim.RunCtx(ctx, p, base)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +146,7 @@ func Collect(p *ir.Program, opts Options) (*Result, error) {
 	case ModeTracing:
 		instr.PerEventOverhead = tracingEventOverhead
 	}
-	run, err := mpisim.Run(p, instr)
+	run, err := mpisim.RunCtx(ctx, p, instr)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +157,9 @@ func Collect(p *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// ---- embedding ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	buildOpts := pag.BuildOptions{Parallelism: opts.Parallelism}
 	td.EmbedRunParallel(run, opts.PMU, buildOpts)
 	td.MarkDynamicCallees(run)
@@ -159,6 +170,9 @@ func Collect(p *ir.Program, opts Options) (*Result, error) {
 	td.G.Frozen()
 
 	if !opts.SkipParallelView {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Parallel = pag.BuildParallelOpts(run, buildOpts)
 		res.PAGBytes += res.Parallel.SerializedSize()
 		res.Parallel.G.Frozen()

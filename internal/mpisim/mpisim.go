@@ -17,6 +17,7 @@
 package mpisim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -145,6 +146,13 @@ func (e *DeadlockError) Error() string {
 
 // Run simulates program p under cfg and returns the recorded execution.
 func Run(p *ir.Program, cfg Config) (*trace.Run, error) {
+	return RunCtx(context.Background(), p, cfg)
+}
+
+// RunCtx is Run under a caller-supplied context: cancellation and deadlines
+// are honored between flattening passes and between replay rounds, so a
+// long simulation aborts promptly with ctx.Err().
+func RunCtx(ctx context.Context, p *ir.Program, cfg Config) (*trace.Run, error) {
 	cfg = cfg.withDefaults()
 	if !p.Finalized() {
 		if err := p.Finalize(); err != nil {
@@ -155,6 +163,9 @@ func Run(p *ir.Program, cfg Config) (*trace.Run, error) {
 	cct := trace.NewCCT()
 	ranks := make([]*rankState, cfg.NRanks)
 	for r := 0; r < cfg.NRanks; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fl := &flattener{prog: p, rank: r, nranks: cfg.NRanks, cfg: cfg, cct: cct}
 		entry := p.Function(p.Entry)
 		entryCtx := cct.Intern(trace.NoCtx, entry.ID())
@@ -169,7 +180,7 @@ func Run(p *ir.Program, cfg Config) (*trace.Run, error) {
 		sends: map[chanKey][]*message{},
 		recvs: map[chanKey][]*recvPost{},
 	}
-	if err := world.replay(); err != nil {
+	if err := world.replay(ctx); err != nil {
 		return nil, err
 	}
 
@@ -505,8 +516,11 @@ type world struct {
 	syncs []trace.SyncEdge
 }
 
-func (w *world) replay() error {
+func (w *world) replay(ctx context.Context) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		progress := false
 		finished := 0
 		for _, rs := range w.ranks {

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a content-addressed LRU cache of finished job results,
+// bounded by a byte budget. Keys are SHA-256 digests of the canonicalized
+// program plus the result-affecting run options (see Job.Key), so a repeat
+// submission of an equivalent job is served without re-running anything —
+// sound because PAG construction is deterministic and byte-identical at any
+// parallelism setting.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result bytes for key, bumping its recency.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, then evicts least-recently-used entries
+// until the byte budget holds. Values larger than the whole budget are not
+// cached at all.
+func (c *resultCache) Put(key string, val []byte) {
+	if int64(len(val)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.val))
+		c.evictions++
+	}
+}
+
+// cacheStats is a point-in-time snapshot of the cache counters.
+type cacheStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+func (c *resultCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(100)
+
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("miss on resident entry a")
+	}
+	// a is now MRU; inserting c (40 bytes) over the 100-byte budget must
+	// evict b, the LRU entry, not a.
+	c.Put("c", make([]byte, 40))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not honored")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently-used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("fresh insert c missing")
+	}
+
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 || st.Bytes != 80 {
+		t.Errorf("entries/bytes = %d/%d, want 2/80", st.Entries, st.Bytes)
+	}
+}
+
+func TestResultCacheOversized(t *testing.T) {
+	c := newResultCache(64)
+	c.Put("big", make([]byte, 65))
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized entry must not be cached")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("oversized insert changed occupancy: %+v", st)
+	}
+}
+
+func TestResultCacheReplace(t *testing.T) {
+	c := newResultCache(100)
+	c.Put("k", []byte("one"))
+	c.Put("k", []byte("second"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "second" {
+		t.Fatalf("Get after replace = %q, %v", got, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len("second")) {
+		t.Errorf("replace left stale accounting: %+v", st)
+	}
+}
+
+func TestResultCacheCounters(t *testing.T) {
+	c := newResultCache(1 << 10)
+	c.Put("x", []byte("v"))
+	for i := 0; i < 3; i++ {
+		c.Get("x")
+	}
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestResultCacheManyEvictions(t *testing.T) {
+	c := newResultCache(10 * 8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 8))
+	}
+	st := c.Stats()
+	if st.Entries != 10 {
+		t.Errorf("entries = %d, want 10", st.Entries)
+	}
+	if st.Bytes != 80 {
+		t.Errorf("bytes = %d, want 80", st.Bytes)
+	}
+	// Only the ten most recent keys are resident.
+	for i := 90; i < 100; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("recent key k%d evicted", i)
+		}
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("oldest key survived 90 evictions")
+	}
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// maxBodyBytes bounds a submission body (inline DSL programs included).
+const maxBodyBytes = 8 << 20
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, resp errorResponse) {
+	writeJSON(w, status, resp)
+}
+
+// view renders a job (plus its result when done) under the server lock.
+func (s *Server) view(j *Job, withResult bool) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewLocked(j, withResult)
+}
+
+func (s *Server) viewLocked(j *Job, withResult bool) JobView {
+	v := JobView{
+		ID:          j.ID,
+		Key:         j.Key,
+		State:       j.state,
+		Cached:      j.cached,
+		Error:       j.err,
+		Request:     j.Req,
+		SubmittedAt: j.submitted.UTC(),
+	}
+	if !j.started.IsZero() {
+		t := j.started.UTC()
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished.UTC()
+		v.FinishedAt = &t
+	}
+	if withResult && j.state == StateDone && j.resultJSON != nil {
+		v.Result = json.RawMessage(j.resultJSON)
+	}
+	return v
+}
+
+// handleSubmit implements POST /v1/jobs: validate and lint synchronously,
+// serve repeat submissions straight from the result cache, otherwise
+// enqueue on the bounded worker pool — or push back with 429 when full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req = req.withDefaults()
+
+	// Content-addressed fast path: a hit can only exist for a request that
+	// previously validated, linted clean, and ran to completion, so the
+	// whole pipeline is skipped — repeat submissions are O(1).
+	key := req.Key()
+	if cached, ok := s.cache.Get(key); ok {
+		s.m.syncCache(s.cache.Stats())
+		s.mu.Lock()
+		s.seq++
+		job := &Job{
+			ID:         fmt.Sprintf("j-%06d", s.seq),
+			Key:        key,
+			Req:        req,
+			state:      StateDone,
+			cached:     true,
+			resultJSON: cached,
+			submitted:  time.Now(),
+			finished:   time.Now(),
+			done:       make(chan struct{}),
+		}
+		close(job.done)
+		s.registerLocked(job)
+		s.m.jobsDone.Add(1)
+		view := s.viewLocked(job, true)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	s.m.syncCache(s.cache.Stats())
+
+	req, diags, err := s.validate(req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Diagnostics: diags})
+		return
+	}
+
+	job, err := s.submit(req)
+	switch err {
+	case nil:
+		writeJSON(w, http.StatusAccepted, s.view(job, false))
+	case errQueueFull:
+		// Backpressure: tell the client when a slot is plausibly free
+		// instead of accepting unbounded work.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, errorResponse{Error: "job queue full"})
+	case errDraining:
+		writeError(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+	default:
+		writeError(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds estimates how long until a queue slot frees: one
+// average job latency per queued-jobs-per-worker, floored at 1s.
+func (s *Server) retryAfterSeconds() int {
+	n := int64(s.opts.QueueDepth) / int64(s.opts.Workers)
+	if n < 1 {
+		n = 1
+	}
+	if n > 30 {
+		n = 30
+	}
+	return int(n)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			views = append(views, s.viewLocked(j, false))
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j, true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, found, cancelable := s.cancelJob(r.PathValue("id"))
+	if !found {
+		writeError(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	if !cancelable {
+		writeError(w, http.StatusConflict, errorResponse{Error: "job already finished"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.view(j, false))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.m.syncCache(s.cache.Stats())
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.m.Var().String())
+}

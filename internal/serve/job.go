@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"perflow/internal/core"
+	"perflow/internal/lint"
+)
+
+// SubmitRequest is the body of POST /v1/jobs: one program (a named built-in
+// workload or an inline DSL source) plus the run options of the equivalent
+// CLI invocation.
+type SubmitRequest struct {
+	// Workload names a built-in workload model; mutually exclusive with DSL.
+	Workload string `json:"workload,omitempty"`
+	// DSL is an inline program in the PerFlow DSL.
+	DSL string `json:"dsl,omitempty"`
+	// Analysis selects the analysis to run (default "profile").
+	Analysis string `json:"analysis,omitempty"`
+	// Ranks is the MPI process count (default 8, like cmd/pflow).
+	Ranks int `json:"ranks,omitempty"`
+	// Ranks2 is the second (large) rank count for scalability analysis.
+	Ranks2 int `json:"ranks2,omitempty"`
+	// Threads is the thread count inside parallel regions (default 1).
+	Threads int `json:"threads,omitempty"`
+	// Top is the result count for hotspot-style analyses (default 10).
+	Top int `json:"top,omitempty"`
+	// Parallelism bounds the worker pool for sharded PAG construction
+	// (the CLI's -j). It does not change results, so it is excluded from
+	// the cache key.
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS caps the job's run time; 0 uses the server default, and
+	// values above the server default are clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// withDefaults fills the CLI-equivalent defaults.
+func (r SubmitRequest) withDefaults() SubmitRequest {
+	if r.Analysis == "" {
+		r.Analysis = "profile"
+	}
+	if r.Ranks <= 0 {
+		r.Ranks = 8
+	}
+	if r.Threads <= 0 {
+		r.Threads = 1
+	}
+	if r.Top <= 0 {
+		r.Top = 10
+	}
+	return r
+}
+
+// Key returns the content address of the request: a SHA-256 digest over the
+// canonicalized program and every result-affecting option. Parallelism and
+// TimeoutMS are deliberately excluded — sharded PAG construction is
+// byte-identical at any worker count, so they cannot change the result.
+func (r SubmitRequest) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "analysis=%s\nranks=%d\nranks2=%d\nthreads=%d\ntop=%d\n",
+		r.Analysis, r.Ranks, r.Ranks2, r.Threads, r.Top)
+	if r.Workload != "" {
+		fmt.Fprintf(h, "workload=%s\n", r.Workload)
+	} else {
+		io.WriteString(h, "dsl:\n")
+		io.WriteString(h, canonicalDSL(r.DSL))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalDSL normalizes a DSL source so formatting-only variants hash to
+// the same key: whitespace is collapsed, blank lines dropped, and comments
+// stripped — except `# lint:` directives, which are semantic (they suppress
+// findings) and must stay part of the program's identity.
+func canonicalDSL(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "# lint:") && !strings.HasPrefix(line, "#lint:") {
+			continue
+		}
+		b.WriteString(strings.Join(strings.Fields(line), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// JobResult is the payload of a finished job.
+type JobResult struct {
+	// Report is the analysis report text, byte-identical to the equivalent
+	// CLI invocation's stdout.
+	Report string `json:"report"`
+	// Sets holds the highlighted result set(s) as JSON graphs (empty for
+	// report-only analyses such as profile and timeline).
+	Sets []*core.JSONReport `json:"sets,omitempty"`
+	// Trace is the per-pass execution trace of the dataflow engine (nil
+	// for analyses that do not run through it).
+	Trace *core.JSONTrace `json:"trace,omitempty"`
+	// ElapsedUS is the wall-clock run cost of the original (uncached)
+	// execution, microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// Job is one submitted analysis with its lifecycle state. Mutable fields
+// are guarded by the owning server's mutex.
+type Job struct {
+	ID  string `json:"id"`
+	Key string `json:"key"`
+
+	Req SubmitRequest `json:"request"`
+
+	state      State
+	err        string
+	cached     bool
+	resultJSON []byte // marshaled JobResult, set when state == StateDone
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel    context.CancelFunc // cancels the job's run context
+	runParent context.Context    // parent context the worker runs under
+	done      chan struct{}      // closed on any terminal state
+}
+
+// terminalLocked reports whether the job reached a terminal state. Caller
+// holds the owning server's mutex.
+func (j *Job) terminalLocked() bool {
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// marshalResult renders a JobResult to the bytes stored in the cache and
+// embedded in job responses.
+func marshalResult(r *JobResult) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// JobView is the wire representation of a job for submit/list/get/cancel
+// responses. Result is embedded pre-marshaled (it is stored that way in the
+// cache) and only present on done jobs fetched with their result.
+type JobView struct {
+	ID          string          `json:"id"`
+	Key         string          `json:"key"`
+	State       State           `json:"state"`
+	Cached      bool            `json:"cached,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Request     SubmitRequest   `json:"request"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+// errorResponse is the body of every non-2xx response. Diagnostics carries
+// structured lint findings for 422s caused by the static analyzer.
+type errorResponse struct {
+	Error       string            `json:"error"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics,omitempty"`
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server metrics in the expvar idiom: every counter is an expvar.Var
+// assembled into a private expvar.Map that the /metrics handler renders as
+// JSON. The map is built with Init rather than expvar.Publish so several
+// servers (tests!) coexist without colliding in the process-global
+// registry; cmd/pflow publishes the map globally for /debug/vars.
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the per-analysis
+// latency histogram; the last bucket is unbounded.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// latencyHist is a fixed-bucket latency histogram implementing expvar.Var.
+type latencyHist struct {
+	mu      sync.Mutex
+	counts  []int64 // len(latencyBucketsMS)+1
+	count   int64
+	sumUS   int64
+	maxUS   int64
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{counts: make([]int64, len(latencyBucketsMS)+1)}
+}
+
+func (h *latencyHist) Observe(d time.Duration) {
+	us := d.Microseconds()
+	ms := float64(us) / 1000
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sumUS += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+	h.mu.Unlock()
+}
+
+// String renders the histogram as JSON (the expvar.Var contract).
+func (h *latencyHist) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sum_us":%d,"max_us":%d,"buckets_ms":{`, h.count, h.sumUS, h.maxUS)
+	for i, c := range h.counts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if i < len(latencyBucketsMS) {
+			fmt.Fprintf(&b, `"le_%g":%d`, latencyBucketsMS[i], c)
+		} else {
+			fmt.Fprintf(&b, `"inf":%d`, c)
+		}
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+// metrics aggregates every serving counter the /metrics endpoint exposes.
+type metrics struct {
+	jobsSubmitted expvar.Int // accepted onto the queue (cache hits excluded)
+	jobsQueued    expvar.Int // gauge: waiting in the queue now
+	jobsRunning   expvar.Int // gauge: executing now
+	jobsDone      expvar.Int
+	jobsFailed    expvar.Int
+	jobsCanceled  expvar.Int
+	jobsRejected  expvar.Int // 429 backpressure rejections
+
+	cacheHits      expvar.Int
+	cacheMisses    expvar.Int
+	cacheEvictions expvar.Int
+	cacheBytes     expvar.Int // gauge
+	cacheEntries   expvar.Int // gauge
+
+	latency *expvar.Map // analysis name -> *latencyHist
+	histMu  sync.Mutex
+	hists   map[string]*latencyHist
+
+	top *expvar.Map
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		latency: new(expvar.Map).Init(),
+		hists:   make(map[string]*latencyHist),
+		top:     new(expvar.Map).Init(),
+	}
+	m.top.Set("jobs_submitted", &m.jobsSubmitted)
+	m.top.Set("jobs_queued", &m.jobsQueued)
+	m.top.Set("jobs_running", &m.jobsRunning)
+	m.top.Set("jobs_done", &m.jobsDone)
+	m.top.Set("jobs_failed", &m.jobsFailed)
+	m.top.Set("jobs_canceled", &m.jobsCanceled)
+	m.top.Set("jobs_rejected", &m.jobsRejected)
+	m.top.Set("cache_hits", &m.cacheHits)
+	m.top.Set("cache_misses", &m.cacheMisses)
+	m.top.Set("cache_evictions", &m.cacheEvictions)
+	m.top.Set("cache_bytes", &m.cacheBytes)
+	m.top.Set("cache_entries", &m.cacheEntries)
+	m.top.Set("latency_us", m.latency)
+	return m
+}
+
+// ObserveLatency records one finished job's run latency under its analysis
+// name.
+func (m *metrics) ObserveLatency(analysis string, d time.Duration) {
+	m.histMu.Lock()
+	h, ok := m.hists[analysis]
+	if !ok {
+		h = newLatencyHist()
+		m.hists[analysis] = h
+		m.latency.Set(analysis, h)
+	}
+	m.histMu.Unlock()
+	h.Observe(d)
+}
+
+// syncCache copies the cache counters into the exported gauges.
+func (m *metrics) syncCache(st cacheStats) {
+	m.cacheHits.Set(st.Hits)
+	m.cacheMisses.Set(st.Misses)
+	m.cacheEvictions.Set(st.Evictions)
+	m.cacheBytes.Set(st.Bytes)
+	m.cacheEntries.Set(int64(st.Entries))
+}
+
+// Var returns the metric tree as one expvar.Var (a Map rendering to JSON).
+func (m *metrics) Var() expvar.Var { return m.top }

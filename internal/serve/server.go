@@ -1,0 +1,424 @@
+// Package serve implements the PerFlow analysis service behind the
+// `pflow serve` subcommand: a long-running HTTP server that accepts DSL
+// programs or named workloads plus run options, validates and lints them
+// synchronously, executes accepted jobs on a bounded worker pool with
+// per-job timeouts and cancellation, and serves results from a
+// content-addressed LRU cache so repeat submissions are O(1).
+//
+// The service exists because the one-shot CLI re-parses, re-lints,
+// re-simulates and re-builds the PAG on every invocation; wrapping the same
+// perflow.RunCtx/AnalyzeCtx pipeline in a queue plus cache turns the batch
+// tool into a reusable serving core (cf. Pipeflow, arXiv 2202.00717, and
+// the continuous-analysis argument of arXiv 2401.13150).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"perflow"
+	"perflow/internal/core"
+	"perflow/internal/ir"
+	"perflow/internal/lint"
+	"perflow/internal/workloads"
+)
+
+// Options parameterizes a Server.
+type Options struct {
+	// Workers is the size of the analysis worker pool (default 4).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it are rejected with 429 (default 64).
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget (default 64 MiB).
+	CacheBytes int64
+	// JobTimeout caps one job's run time; request timeouts are clamped to
+	// it (default 60s).
+	JobTimeout time.Duration
+	// MaxJobHistory bounds the finished jobs retained for GET (default
+	// 4096; oldest finished jobs are forgotten first).
+	MaxJobHistory int
+	// MaxRanks bounds accepted rank counts (default 1024).
+	MaxRanks int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 60 * time.Second
+	}
+	if o.MaxJobHistory <= 0 {
+		o.MaxJobHistory = 4096
+	}
+	if o.MaxRanks <= 0 {
+		o.MaxRanks = 1024
+	}
+	return o
+}
+
+// Server is the analysis service: a bounded job queue, a worker pool
+// running the perflow pipeline, and a content-addressed result cache.
+type Server struct {
+	opts  Options
+	cache *resultCache
+	m     *metrics
+	mux   *http.ServeMux
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context // canceled on forced shutdown
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	seq      uint64
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order, for listing + history bounds
+}
+
+// New builds a Server and starts its worker pool. Callers must Drain it
+// when done.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		cache:      newResultCache(opts.CacheBytes),
+		m:          newMetrics(),
+		queue:      make(chan *Job, opts.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	s.mux = s.routes()
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the expvar tree the /metrics endpoint renders, for
+// publication in the process-global expvar registry.
+func (s *Server) Metrics() interface{ String() string } { return s.m.Var() }
+
+// Drain stops accepting jobs, cancels everything still queued, and waits
+// for running jobs to finish — the SIGTERM path. If ctx expires first, the
+// remaining jobs' contexts are canceled and Drain waits for the workers to
+// observe it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("serve: already draining")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // force-cancel running jobs, then wait for them
+		<-done
+		return ctx.Err()
+	}
+}
+
+// errQueueFull and errDraining are the submission backpressure signals.
+var (
+	errQueueFull = errors.New("serve: job queue full")
+	errDraining  = errors.New("serve: server draining")
+)
+
+// validate normalizes and checks a request, returning the prepared request
+// or a client error (and lint diagnostics when the static analyzer rejects
+// the program).
+func (s *Server) validate(req SubmitRequest) (SubmitRequest, []lint.Diagnostic, error) {
+	req = req.withDefaults()
+	switch {
+	case req.Workload == "" && req.DSL == "":
+		return req, nil, errors.New("one of \"workload\" or \"dsl\" is required")
+	case req.Workload != "" && req.DSL != "":
+		return req, nil, errors.New("\"workload\" and \"dsl\" are mutually exclusive")
+	}
+	if !perflow.KnownAnalysis(req.Analysis) {
+		return req, nil, fmt.Errorf("unknown analysis %q (have %v)", req.Analysis, perflow.Analyses())
+	}
+	if req.Ranks > s.opts.MaxRanks || req.Ranks2 > s.opts.MaxRanks {
+		return req, nil, fmt.Errorf("rank count exceeds server limit %d", s.opts.MaxRanks)
+	}
+	if req.Threads > 256 {
+		return req, nil, errors.New("threads exceeds server limit 256")
+	}
+	if perflow.AnalysisNeedsTwoScales(req.Analysis) && req.Ranks2 <= req.Ranks {
+		return req, nil, fmt.Errorf("analysis %q needs ranks2 > ranks", req.Analysis)
+	}
+
+	// Resolve the program and lint it synchronously: parse failures and
+	// error-severity findings reject the submission up front (422), before
+	// any queue slot or simulation time is spent.
+	var prog *ir.Program
+	if req.Workload != "" {
+		p, err := workloads.Get(req.Workload)
+		if err != nil {
+			return req, nil, err
+		}
+		prog = p
+	} else {
+		p, err := ir.ParseLenient(strings.NewReader(req.DSL))
+		if err != nil {
+			return req, nil, err
+		}
+		prog = p
+	}
+	diags, err := lint.Run(prog, lint.Options{})
+	if err != nil {
+		return req, nil, err
+	}
+	if lint.HasErrors(diags) {
+		return req, diags, errors.New("program rejected by static diagnostics")
+	}
+	return req, nil, nil
+}
+
+// submit creates a job for an already-validated request and enqueues it.
+func (s *Server) submit(req SubmitRequest) (*Job, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		ID:        fmt.Sprintf("j-%06d", s.seq),
+		Key:       req.Key(),
+		Req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		cancel:    cancel,
+		runParent: ctx,
+		done:      make(chan struct{}),
+	}
+	// Reserve the queue slot while still holding the lock, so Drain cannot
+	// close the channel between the check above and this send.
+	select {
+	case s.queue <- job:
+		s.registerLocked(job)
+		s.m.jobsSubmitted.Add(1)
+		s.m.jobsQueued.Add(1)
+		s.mu.Unlock()
+		return job, nil
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.m.jobsRejected.Add(1)
+		return nil, errQueueFull
+	}
+}
+
+// registerLocked records the job and enforces the finished-history bound.
+// Caller holds s.mu.
+func (s *Server) registerLocked(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.order) > s.opts.MaxJobHistory {
+		evicted := false
+		for i, id := range s.order {
+			old := s.jobs[id]
+			if old != nil && old.terminalLocked() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything retained is still pending/running
+		}
+	}
+}
+
+// job returns a job by ID.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels a queued or running job. It returns the job, whether it
+// was found, and whether it was still cancelable.
+func (s *Server) cancelJob(id string) (*Job, bool, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, false
+	}
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		s.mu.Unlock()
+		return j, true, false
+	case StateQueued:
+		// The worker that eventually dequeues it observes the canceled
+		// state and skips the run.
+		j.state = StateCanceled
+		j.err = "canceled before start"
+		j.finished = time.Now()
+		close(j.done)
+		s.m.jobsQueued.Add(-1)
+		s.m.jobsCanceled.Add(1)
+	case StateRunning:
+		// The run context unwinds inside perflow.RunCtx; the worker
+		// records the terminal state.
+	}
+	cancel := j.cancel
+	s.mu.Unlock()
+	cancel()
+	return j, true, true
+}
+
+// worker is one pool goroutine: it drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	if job.state != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		job.cancel()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	s.m.jobsQueued.Add(-1)
+	s.m.jobsRunning.Add(1)
+	s.mu.Unlock()
+
+	timeout := s.opts.JobTimeout
+	if job.Req.TimeoutMS > 0 {
+		if d := time.Duration(job.Req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(job.runParent, timeout)
+	resultJSON, err := s.execute(ctx, job.Req)
+	cancel()
+	job.cancel()
+
+	s.mu.Lock()
+	job.finished = time.Now()
+	s.m.jobsRunning.Add(-1)
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.resultJSON = resultJSON
+		s.m.jobsDone.Add(1)
+		s.m.ObserveLatency(job.Req.Analysis, job.finished.Sub(job.started))
+	case errors.Is(err, context.Canceled):
+		job.state = StateCanceled
+		job.err = "canceled"
+		s.m.jobsCanceled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		job.state = StateFailed
+		job.err = fmt.Sprintf("timed out after %s", timeout)
+		s.m.jobsFailed.Add(1)
+	default:
+		job.state = StateFailed
+		job.err = err.Error()
+		s.m.jobsFailed.Add(1)
+	}
+	close(job.done)
+	s.mu.Unlock()
+
+	if job.state == StateDone {
+		s.cache.Put(job.Key, resultJSON)
+	}
+	s.m.syncCache(s.cache.Stats())
+}
+
+// execute runs the request's analysis through the exact pipeline the CLI
+// uses (perflow.RunCtx + AnalyzeCtx), so the report bytes match a CLI
+// invocation with the same options. Each collection parses or builds a
+// fresh program, also matching the CLI.
+func (s *Server) execute(ctx context.Context, req SubmitRequest) ([]byte, error) {
+	pf := perflow.New()
+	started := time.Now()
+
+	collect := func(ranks int, withParallel bool) (*perflow.Result, error) {
+		opts := perflow.RunOptions{
+			Ranks:            ranks,
+			Threads:          req.Threads,
+			SkipParallelView: !withParallel,
+			Parallelism:      req.Parallelism,
+		}
+		if req.Workload != "" {
+			return pf.RunWorkloadCtx(ctx, req.Workload, opts)
+		}
+		return pf.RunDSLCtx(ctx, strings.NewReader(req.DSL), opts)
+	}
+
+	needsParallel := perflow.AnalysisNeedsParallelView(req.Analysis)
+	var res, large *perflow.Result
+	var err error
+	if perflow.AnalysisNeedsTwoScales(req.Analysis) {
+		// Two-scale shape of the CLI: small run top-down only, large run
+		// with the parallel view.
+		if res, err = collect(req.Ranks, false); err != nil {
+			return nil, err
+		}
+		if large, err = collect(req.Ranks2, needsParallel); err != nil {
+			return nil, err
+		}
+	} else if res, err = collect(req.Ranks, needsParallel); err != nil {
+		return nil, err
+	}
+
+	var report bytes.Buffer
+	set, err := pf.AnalyzeCtx(ctx, res, large, req.Analysis, req.Top, &report)
+	if err != nil {
+		return nil, err
+	}
+	result := &JobResult{
+		Report:    report.String(),
+		Trace:     core.BuildJSONTrace(pf.LastTrace),
+		ElapsedUS: time.Since(started).Microseconds(),
+	}
+	if set != nil {
+		result.Sets = append(result.Sets, core.BuildJSONReport(req.Analysis, set))
+	}
+	return marshalResult(result)
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzDecode when PERFLOW_GEN_CORPUS=1 is set. The entries
+// mirror FuzzDecode's f.Add seeds — notably the historical crashers: an
+// event rank of -1 (Elapsed[-1] panic), a huge event rank (multi-GiB
+// Elapsed allocation), and header counts pre-allocated before any payload
+// existed. Checked in so `go test` replays them forever, even when the
+// in-code seeds change.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("PERFLOW_GEN_CORPUS") == "" {
+		t.Skip("set PERFLOW_GEN_CORPUS=1 to regenerate testdata/fuzz/FuzzDecode")
+	}
+	var buf bytes.Buffer
+	if _, err := fuzzSampleRun().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	seeds := map[string][]byte{
+		"valid_roundtrip":    valid,
+		"header_only":        valid[:16],
+		"truncated_event":    valid[:len(valid)-7],
+		"huge_stream_count":  mutate(t, 8, 1<<31),
+		"huge_rank_count":    mutate(t, 12, 1<<31),
+		"stream_count_nodata": mutate(t, 8, 1<<19),
+		"event_count_nodata": mutate(t, 16, 1<<27),
+		"event_rank_minus1":  mutate(t, 20, 0xffffffff),
+		"event_rank_huge":    mutate(t, 20, 1<<30),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

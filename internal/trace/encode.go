@@ -74,8 +74,17 @@ func (r *Run) Encode(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// maxDecodeRanks bounds the rank space Decode accepts; it also bounds the
+// stream count (Encode writes one stream per rank) and every event's Rank
+// field, so hostile headers cannot drive huge allocations or out-of-range
+// indexing.
+const maxDecodeRanks = 1 << 20
+
 // Decode reads event streams previously written by Encode. The CCT and
 // program references are not part of the wire format and are left nil.
+// Malformed or truncated input returns an error; Decode never panics and
+// never allocates more than a small constant factor of the bytes actually
+// read (counts in the header are not trusted until the data arrives).
 func Decode(r io.Reader) (*Run, error) {
 	br := bufio.NewReader(r)
 	var buf [eventWireSize]byte
@@ -89,12 +98,19 @@ func Decode(r io.Reader) (*Run, error) {
 		return nil, errors.New("trace: unsupported version")
 	}
 	nStreams := binary.LittleEndian.Uint32(buf[8:])
-	run := &Run{NRanks: int(binary.LittleEndian.Uint32(buf[12:]))}
-	if nStreams > 1<<20 {
+	nRanks := binary.LittleEndian.Uint32(buf[12:])
+	if nStreams > maxDecodeRanks {
 		return nil, errors.New("trace: implausible stream count")
 	}
-	run.Events = make([][]Event, nStreams)
-	for s := range run.Events {
+	if nRanks > maxDecodeRanks {
+		return nil, errors.New("trace: implausible rank count")
+	}
+	run := &Run{NRanks: int(nRanks)}
+	// Grow incrementally rather than trusting the declared counts: a
+	// hostile header may declare counts far beyond the actual input, and
+	// pre-allocating them would be an OOM crash before ReadFull can fail.
+	run.Events = make([][]Event, 0, min(int(nStreams), 1024))
+	for s := uint32(0); s < nStreams; s++ {
 		if _, err := io.ReadFull(br, buf[:4]); err != nil {
 			return nil, err
 		}
@@ -102,12 +118,12 @@ func Decode(r io.Reader) (*Run, error) {
 		if cnt > 1<<28 {
 			return nil, errors.New("trace: implausible event count")
 		}
-		evs := make([]Event, cnt)
-		for i := range evs {
+		evs := make([]Event, 0, min(int(cnt), 4096))
+		for i := uint32(0); i < cnt; i++ {
 			if _, err := io.ReadFull(br, buf[:eventWireSize]); err != nil {
 				return nil, err
 			}
-			evs[i] = Event{
+			ev := Event{
 				Rank:   int32(binary.LittleEndian.Uint32(buf[0:])),
 				Thread: int32(binary.LittleEndian.Uint32(buf[4:])),
 				Kind:   Kind(buf[8]),
@@ -121,8 +137,12 @@ func Decode(r io.Reader) (*Run, error) {
 				Bytes:  math.Float64frombits(binary.LittleEndian.Uint64(buf[46:])),
 				Count:  int32(binary.LittleEndian.Uint32(buf[54:])),
 			}
+			if ev.Rank < 0 || ev.Rank >= maxDecodeRanks {
+				return nil, errors.New("trace: event rank out of range")
+			}
+			evs = append(evs, ev)
 		}
-		run.Events[s] = evs
+		run.Events = append(run.Events, evs)
 		for i := range evs {
 			if evs[i].End > 0 {
 				if len(run.Elapsed) <= int(evs[i].Rank) {

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"perflow/internal/ir"
+)
+
+// fuzzSampleRun builds a small two-rank run whose encoding seeds the
+// corpus: every fuzz mutation starts from at least one well-formed trace.
+func fuzzSampleRun() *Run {
+	return &Run{
+		NRanks: 2,
+		Events: [][]Event{
+			{
+				{Rank: 0, Thread: -1, Kind: KindCompute, Node: 1, Ctx: 0, Start: 0, End: 10},
+				{Rank: 0, Thread: -1, Kind: KindComm, Op: ir.CommSend, Node: 2, Ctx: 1,
+					Start: 10, End: 14, Wait: 1, Peer: 1, Bytes: 4096, Count: 1},
+			},
+			{
+				{Rank: 1, Thread: -1, Kind: KindComm, Op: ir.CommRecv, Node: 3, Ctx: 2,
+					Start: 0, End: 14, Wait: 9, Peer: 0, Bytes: 4096, Count: 1},
+			},
+		},
+		Elapsed: []float64{14, 14},
+	}
+}
+
+// mutate returns the sample encoding with 4 bytes overwritten at off.
+func mutate(tb testing.TB, off int, val uint32) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if _, err := fuzzSampleRun().Encode(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[off:], val)
+	return b
+}
+
+// FuzzDecode asserts the trace codec's contract on arbitrary bytes: Decode
+// errors or succeeds but never panics, never over-allocates from hostile
+// header counts, and whatever it accepts re-encodes byte-faithfully.
+//
+// The seeds cover the crashers this fuzz target originally found (also
+// checked in under testdata/fuzz/FuzzDecode): an event Rank of -1 indexed
+// run.Elapsed[-1] and panicked, a huge Rank forced a multi-GiB Elapsed
+// allocation, and declared stream/event counts were pre-allocated before
+// any payload bytes existed.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := fuzzSampleRun().Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), valid[:16]...))           // header only, streams missing
+	f.Add(append([]byte(nil), valid[:len(valid)-7]...)) // truncated mid-event
+	f.Add(mutate(f, 8, 1<<31))                          // implausible stream count
+	f.Add(mutate(f, 12, 1<<31))                         // implausible rank count
+	f.Add(mutate(f, 8, 1<<19))                          // huge stream count, no data behind it
+	f.Add(mutate(f, 16, 1<<27))                         // huge event count, no data behind it
+	f.Add(mutate(f, 20, 0xffffffff))                    // first event's rank = -1
+	f.Add(mutate(f, 20, 1<<30))                         // first event's rank huge
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if run != nil {
+				t.Fatalf("Decode returned both a run and error %v", err)
+			}
+			return
+		}
+		if run == nil {
+			t.Fatal("Decode returned nil run with nil error")
+		}
+		// A decoded run must survive the read-side API and re-encode to
+		// the same byte count it reports (decode ∘ encode is total on
+		// accepted input).
+		_ = run.TotalTime()
+		_ = run.ComputeStats()
+		var re bytes.Buffer
+		n, err := run.Encode(&re)
+		if err != nil {
+			t.Fatalf("re-encode of decoded run failed: %v", err)
+		}
+		if n != run.EncodedSize() {
+			t.Fatalf("EncodedSize %d != written %d", run.EncodedSize(), n)
+		}
+	})
+}

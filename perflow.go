@@ -172,6 +172,15 @@ func New() *PerFlow { return &PerFlow{Out: os.Stdout} }
 // matching top-down PAG vertices under the "lint" attribute so passes and
 // reports surface them.
 func (pf *PerFlow) Run(p *Program, opts RunOptions) (*Result, error) {
+	return pf.RunCtx(context.Background(), p, opts)
+}
+
+// RunCtx is Run under a caller-supplied context, threaded end-to-end:
+// cancellation and deadlines propagate through the lint phase, both
+// simulator runs, and PAG construction, so a run in flight aborts promptly
+// with ctx.Err(). Run, RunWorkload and RunDSL are thin wrappers over the
+// Ctx variants.
+func (pf *PerFlow) RunCtx(ctx context.Context, p *Program, opts RunOptions) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("perflow: nil program")
 	}
@@ -199,7 +208,7 @@ func (pf *PerFlow) Run(p *Program, opts RunOptions) (*Result, error) {
 	if opts.Tracing {
 		mode = collector.ModeTracing
 	}
-	res, err := collector.Collect(p, collector.Options{
+	res, err := collector.CollectCtx(ctx, p, collector.Options{
 		Ranks:            opts.Ranks,
 		Threads:          opts.Threads,
 		Mode:             mode,
@@ -218,20 +227,30 @@ func (pf *PerFlow) Run(p *Program, opts RunOptions) (*Result, error) {
 // RunWorkload runs one of the built-in workload models (the synthetic NPB
 // kernels and the three case-study applications; see Workloads).
 func (pf *PerFlow) RunWorkload(name string, opts RunOptions) (*Result, error) {
+	return pf.RunWorkloadCtx(context.Background(), name, opts)
+}
+
+// RunWorkloadCtx is RunWorkload under a caller-supplied context.
+func (pf *PerFlow) RunWorkloadCtx(ctx context.Context, name string, opts RunOptions) (*Result, error) {
 	p, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return pf.Run(p, opts)
+	return pf.RunCtx(ctx, p, opts)
 }
 
 // RunDSL parses a program in the PerFlow DSL and runs it.
 func (pf *PerFlow) RunDSL(r io.Reader, opts RunOptions) (*Result, error) {
+	return pf.RunDSLCtx(context.Background(), r, opts)
+}
+
+// RunDSLCtx is RunDSL under a caller-supplied context.
+func (pf *PerFlow) RunDSLCtx(ctx context.Context, r io.Reader, opts RunOptions) (*Result, error) {
 	p, err := ir.Parse(r)
 	if err != nil {
 		return nil, err
 	}
-	return pf.Run(p, opts)
+	return pf.RunCtx(ctx, p, opts)
 }
 
 // Workloads lists the built-in workload names.
