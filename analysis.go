@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Named analyses: the one-shot CLI (cmd/pflow) and the analysis service
@@ -21,6 +22,10 @@ type analysisSpec struct {
 	needsLarge bool
 	run        func(ctx context.Context, pf *PerFlow, res, large *Result, top int, w io.Writer) (*Set, error)
 }
+
+// analysesMu guards analyses: RegisterAnalysis may run concurrently with
+// served jobs resolving names.
+var analysesMu sync.RWMutex
 
 var analyses = map[string]analysisSpec{
 	"profile": {run: func(ctx context.Context, pf *PerFlow, res, _ *Result, _ int, w io.Writer) (*Set, error) {
@@ -71,8 +76,48 @@ var analyses = map[string]analysisSpec{
 	}},
 }
 
+// AnalysisSpec describes a user-registered analysis for RegisterAnalysis.
+type AnalysisSpec struct {
+	// NeedsParallelView marks analyses that read the parallel view of the
+	// primary result.
+	NeedsParallelView bool
+	// NeedsTwoScales marks analyses that consume a second, large-scale
+	// result.
+	NeedsTwoScales bool
+	// Run performs the analysis: write the report to w and return the
+	// highlighted set (nil for report-only analyses). large is non-nil only
+	// when NeedsTwoScales is set.
+	Run func(ctx context.Context, pf *PerFlow, res, large *Result, top int, w io.Writer) (*Set, error)
+}
+
+// RegisterAnalysis adds a named analysis to the registry shared by
+// AnalyzeCtx, cmd/pflow, and the serve API. It fails when the name is empty,
+// already taken, or the spec has no Run function. Safe for concurrent use
+// with served jobs.
+func RegisterAnalysis(name string, spec AnalysisSpec) error {
+	if name == "" {
+		return fmt.Errorf("perflow: empty analysis name")
+	}
+	if spec.Run == nil {
+		return fmt.Errorf("perflow: analysis %q has no Run function", name)
+	}
+	analysesMu.Lock()
+	defer analysesMu.Unlock()
+	if _, dup := analyses[name]; dup {
+		return fmt.Errorf("perflow: analysis %q already registered", name)
+	}
+	analyses[name] = analysisSpec{
+		needsParallel: spec.NeedsParallelView,
+		needsLarge:    spec.NeedsTwoScales,
+		run:           spec.Run,
+	}
+	return nil
+}
+
 // Analyses returns the names AnalyzeCtx accepts, sorted.
 func Analyses() []string {
+	analysesMu.RLock()
+	defer analysesMu.RUnlock()
 	names := make([]string, 0, len(analyses))
 	for n := range analyses {
 		names = append(names, n)
@@ -83,6 +128,8 @@ func Analyses() []string {
 
 // KnownAnalysis reports whether name is a registered analysis.
 func KnownAnalysis(name string) bool {
+	analysesMu.RLock()
+	defer analysesMu.RUnlock()
 	_, ok := analyses[name]
 	return ok
 }
@@ -92,12 +139,16 @@ func KnownAnalysis(name string) bool {
 // RunOptions.SkipParallelView. For "scalability" the parallel view is
 // needed on the large-scale result only.
 func AnalysisNeedsParallelView(name string) bool {
+	analysesMu.RLock()
+	defer analysesMu.RUnlock()
 	return analyses[name].needsParallel
 }
 
 // AnalysisNeedsTwoScales reports whether the named analysis consumes a
 // second, large-scale result (scalability).
 func AnalysisNeedsTwoScales(name string) bool {
+	analysesMu.RLock()
+	defer analysesMu.RUnlock()
 	return analyses[name].needsLarge
 }
 
@@ -107,7 +158,9 @@ func AnalysisNeedsTwoScales(name string) bool {
 // result consumed only by two-scale analyses; pass nil otherwise. Paradigm
 // analyses leave their per-pass instrumentation in pf.LastTrace.
 func (pf *PerFlow) AnalyzeCtx(ctx context.Context, res, large *Result, analysis string, top int, w io.Writer) (*Set, error) {
+	analysesMu.RLock()
 	spec, ok := analyses[analysis]
+	analysesMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("perflow: unknown analysis %q (have %v)", analysis, Analyses())
 	}
@@ -120,5 +173,17 @@ func (pf *PerFlow) AnalyzeCtx(ctx context.Context, res, large *Result, analysis 
 	if spec.needsLarge && large == nil {
 		return nil, fmt.Errorf("perflow: analysis %q needs a second (large-scale) result", analysis)
 	}
-	return spec.run(ctx, pf, res, large, top, w)
+	out, err := spec.run(ctx, pf, res, large, top, w)
+	if err != nil {
+		return out, err
+	}
+	// Degraded input data always surfaces in the report: whatever the
+	// analysis printed, a data-quality section follows it so partial
+	// metrics are never mistaken for complete ones.
+	for _, r := range []*Result{res, large} {
+		if r != nil && r.Coverage != nil {
+			r.Coverage.Write(w)
+		}
+	}
+	return out, nil
 }

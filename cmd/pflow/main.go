@@ -125,7 +125,9 @@ func main() {
 		par      = flag.Int("j", 0, "worker count for sharded PAG construction (0 = all cores); results are identical at any setting")
 		analysis = flag.String("analysis", "profile",
 			"analysis to run: profile | hotspot | comm | scalability | contention | critical | timeline | waitstates")
-		topN    = flag.Int("top", 10, "result count for hotspot-style analyses")
+		topN   = flag.Int("top", 10, "result count for hotspot-style analyses")
+		faults = flag.String("faults", "",
+			"deterministic fault-injection plan, e.g. \"seed=7;crash:rank=3,at=5000;drop:rank=1,prob=0.5;slow:rank=2,factor=4\"; the analysis degrades gracefully and reports data quality")
 		trace   = flag.Bool("trace", false, "after a paradigm analysis, print its per-pass execution trace")
 		dotOut  = flag.String("dot", "", "write the highlighted result graph in DOT format to this file")
 		savePAG = flag.String("save-pag", "", "after running, persist the top-down PAG to this file for offline analysis")
@@ -148,8 +150,14 @@ func main() {
 	}
 
 	pf := perflow.New()
+	plan, err := perflow.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pflow: -faults:", err)
+		os.Exit(2)
+	}
 	load := func(ctx context.Context, opts perflow.RunOptions) (*perflow.Result, error) {
 		opts.Parallelism = *par
+		opts.Faults = plan
 		if *loadPAG != "" {
 			return perflow.LoadPAGResult(*loadPAG)
 		}
@@ -183,7 +191,6 @@ func main() {
 	defer stop()
 	needsPar := perflow.AnalysisNeedsParallelView(*analysis)
 	var res, large *perflow.Result
-	var err error
 	if perflow.AnalysisNeedsTwoScales(*analysis) {
 		if *ranks2 <= *ranks {
 			fail(fmt.Errorf("%s analysis needs -ranks2 > -ranks", *analysis))

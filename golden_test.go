@@ -83,6 +83,33 @@ func goldenCase(t *testing.T, name string, ranks int, load func(pf *perflow.PerF
 	}
 }
 
+// TestGoldenDegradedReports pins the fault-injection path end to end: a
+// crashed rank in the halo2d stencil must produce a report with a
+// data-quality section (not an error), byte-stable across runs and -j
+// settings like the clean matrix.
+func TestGoldenDegradedReports(t *testing.T) {
+	const faultSpec = "seed=7;crash:rank=3,at=200"
+	for _, ranks := range goldenRanks {
+		ranks := ranks
+		t.Run(fmt.Sprintf("crashed_halo2d_r%d", ranks), func(t *testing.T) {
+			t.Parallel()
+			goldenCase(t, "degraded_halo2d", ranks, func(pf *perflow.PerFlow, opts perflow.RunOptions) (*perflow.Result, error) {
+				plan, err := perflow.ParseFaultPlan(faultSpec)
+				if err != nil {
+					return nil, err
+				}
+				opts.Faults = plan
+				f, err := os.Open(filepath.Join("examples", "dsl", "halo2d.pfl"))
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				return pf.RunDSL(f, opts)
+			})
+		})
+	}
+}
+
 func TestGoldenReports(t *testing.T) {
 	// Every built-in workload.
 	for _, name := range perflow.Workloads() {

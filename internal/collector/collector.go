@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"perflow/internal/ir"
+	"perflow/internal/lint"
 	"perflow/internal/mpisim"
 	"perflow/internal/pag"
 	"perflow/internal/trace"
@@ -70,6 +71,17 @@ type Options struct {
 	// and data embedding; <= 0 uses all available cores. The built PAGs are
 	// identical at every setting.
 	Parallelism int
+
+	// Faults injects deterministic failures into both simulator runs; see
+	// mpisim.FaultPlan. A non-nil plan implies AllowPartial.
+	Faults *mpisim.FaultPlan
+
+	// AllowPartial builds both PAG views from whatever ranks survived a
+	// degraded run: incomplete-rank data is tagged with the data_quality
+	// attribute, Result.Coverage summarizes what was lost, and a DQ001
+	// warning rides the AttachDiagnostics path into reports. Without it a
+	// hanging program still fails with mpisim's DeadlockError.
+	AllowPartial bool
 }
 
 // Result bundles everything the analysis layers consume.
@@ -93,6 +105,10 @@ type Result struct {
 	// TraceBytes is the full-event-trace storage cost (ModeTracing only;
 	// the §5.3 Scalasca storage comparison).
 	TraceBytes int64
+
+	// Coverage summarizes per-rank data quality for degraded runs (fault
+	// injection or salvaged traces); nil for a clean run.
+	Coverage *Coverage
 }
 
 // Collect runs the full pipeline on program p.
@@ -123,6 +139,8 @@ func CollectCtx(ctx context.Context, p *ir.Program, opts Options) (*Result, erro
 		NRanks: opts.Ranks, Threads: opts.Threads,
 		Latency: opts.Latency, Bandwidth: opts.Bandwidth,
 		EagerThreshold: opts.EagerThreshold,
+		Faults:         opts.Faults,
+		AllowPartial:   opts.AllowPartial || opts.Faults != nil,
 	}
 
 	// ---- clean reference run (no instrumentation) ----
@@ -163,6 +181,13 @@ func CollectCtx(ctx context.Context, p *ir.Program, opts Options) (*Result, erro
 	buildOpts := pag.BuildOptions{Parallelism: opts.Parallelism}
 	td.EmbedRunParallel(run, opts.PMU, buildOpts)
 	td.MarkDynamicCallees(run)
+	res.Coverage = CoverageOf(run)
+	if res.Coverage != nil {
+		td.TagDataQuality(run)
+		if d := coverageDiagnostic(p, res.Coverage); d != nil {
+			td.AttachDiagnostics([]lint.Diagnostic{*d})
+		}
+	}
 	res.PAGBytes = td.SerializedSize()
 	// Pre-warm the frozen CSR snapshot: construction is complete, so the
 	// analysis passes (name lookups, traversals, matching) hit the indexes
@@ -174,6 +199,9 @@ func CollectCtx(ctx context.Context, p *ir.Program, opts Options) (*Result, erro
 			return nil, err
 		}
 		res.Parallel = pag.BuildParallelOpts(run, buildOpts)
+		if res.Coverage != nil {
+			res.Parallel.TagDataQuality(run)
+		}
 		res.PAGBytes += res.Parallel.SerializedSize()
 		res.Parallel.G.Frozen()
 	}
@@ -183,15 +211,43 @@ func CollectCtx(ctx context.Context, p *ir.Program, opts Options) (*Result, erro
 	return res, nil
 }
 
+// coverageDiagnostic synthesizes the DQ001 warning that carries a degraded
+// run's coverage summary through the AttachDiagnostics path, anchored at
+// the entry function so it surfaces in any report that includes it.
+func coverageDiagnostic(p *ir.Program, c *Coverage) *lint.Diagnostic {
+	entry := p.Function(p.Entry)
+	if entry == nil {
+		return nil
+	}
+	return &lint.Diagnostic{
+		Code:     "DQ001",
+		Analyzer: "data-quality",
+		Severity: lint.SevWarning,
+		Fn:       p.Entry,
+		Message:  "analysis from partial data: " + c.Summary(),
+		Node:     entry.ID(),
+	}
+}
+
 // CollectAtScales runs the pipeline at two process counts and returns both
 // results — the input shape of differential and scalability analysis
 // (paper Listing 7: a 4-process and a 64-process run).
 func CollectAtScales(p *ir.Program, small, large Options) (*Result, *Result, error) {
-	rs, err := Collect(p, small)
+	return CollectAtScalesCtx(context.Background(), p, small, large)
+}
+
+// CollectAtScalesCtx is CollectAtScales under a caller-supplied context:
+// cancellation between and during the two collections aborts promptly
+// with ctx.Err(), matching CollectCtx.
+func CollectAtScalesCtx(ctx context.Context, p *ir.Program, small, large Options) (*Result, *Result, error) {
+	rs, err := CollectCtx(ctx, p, small)
 	if err != nil {
 		return nil, nil, err
 	}
-	rl, err := Collect(p, large)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	rl, err := CollectCtx(ctx, p, large)
 	if err != nil {
 		return nil, nil, err
 	}

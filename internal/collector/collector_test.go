@@ -1,9 +1,14 @@
 package collector
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
+	"perflow/internal/graph"
 	"perflow/internal/ir"
+	"perflow/internal/mpisim"
 	"perflow/internal/pag"
 )
 
@@ -127,5 +132,60 @@ func TestCollectDefaults(t *testing.T) {
 	}
 	if res.Run.NRanks != 1 {
 		t.Errorf("default ranks = %d", res.Run.NRanks)
+	}
+}
+
+// TestCollectAtScalesCtxCancellation: a context canceled after the small
+// collection aborts before the large one starts; one canceled up front
+// never collects at all.
+func TestCollectAtScalesCtxCancellation(t *testing.T) {
+	p := program(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CollectAtScalesCtx(ctx, p,
+		Options{Ranks: 2, SkipParallelView: true},
+		Options{Ranks: 8, SkipParallelView: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled collect: err = %v, want context.Canceled", err)
+	}
+
+	// A deadline shorter than the pipeline can possibly run: the error is
+	// the context's, not a wrapped simulator failure.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	if _, _, err := CollectAtScalesCtx(dctx, p,
+		Options{Ranks: 2, SkipParallelView: true},
+		Options{Ranks: 8, SkipParallelView: true}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline collect: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCollectPartialCoverage: a crashed rank yields a Result whose Coverage
+// reports the loss and whose top-down view carries data_quality tags,
+// instead of an error.
+func TestCollectPartialCoverage(t *testing.T) {
+	plan, err := mpisim.ParseFaultPlan("seed=1;crash:rank=1,at=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Collect(program(t), Options{Ranks: 4, Faults: plan})
+	if err != nil {
+		t.Fatalf("degraded collect must not fail: %v", err)
+	}
+	c := res.Coverage
+	if c == nil || !c.Degraded() {
+		t.Fatalf("coverage = %+v, want degraded", c)
+	}
+	if len(c.Crashed) != 1 || c.Crashed[0] != 1 {
+		t.Errorf("crashed = %v, want [1]", c.Crashed)
+	}
+	tagged := 0
+	for vid := 0; vid < res.TopDown.G.NumVertices(); vid++ {
+		if res.TopDown.G.Vertex(graph.VertexID(vid)).Attr(pag.AttrDataQuality) == pag.QualityPartial {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Error("no top-down vertices tagged data_quality=partial")
 	}
 }

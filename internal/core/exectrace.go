@@ -26,6 +26,23 @@ type PassSpan struct {
 // Wall returns the span's duration.
 func (s PassSpan) Wall() time.Duration { return s.End - s.Start }
 
+// PassFailure reasons.
+const (
+	FailureError   = "error"   // the pass returned an error
+	FailurePanic   = "panic"   // the pass panicked (recovered by the scheduler)
+	FailureTimeout = "timeout" // the pass exceeded WithPassTimeout
+)
+
+// PassFailure records one pass that failed while the run continued
+// (degraded mode, WithContinueOnFailure): the node substituted empty
+// outputs and everything downstream ran on incomplete data.
+type PassFailure struct {
+	Node   int    // node id, in graph insertion order
+	Pass   string // pass name
+	Reason string // FailureError, FailurePanic, or FailureTimeout
+	Err    string // the failure message
+}
+
 // ExecutionTrace is the per-run instrumentation of a PerFlowGraph: one span
 // per executed pass plus pool-level totals. Retrieve it from Results.Trace
 // or PerFlowGraph.Trace, and render it with Write (the cmd/pflow -trace
@@ -34,6 +51,9 @@ type ExecutionTrace struct {
 	Workers int           // worker-pool size of the run
 	Wall    time.Duration // end-to-end run duration
 	Spans   []PassSpan    // one per executed pass, ordered by start time
+	// Failures lists the passes that failed without stopping the run
+	// (degraded mode), ordered by node id. Empty for a clean run.
+	Failures []PassFailure
 }
 
 func newExecutionTrace(workers int, wall time.Duration, spans []PassSpan) *ExecutionTrace {
@@ -115,6 +135,16 @@ func (t *ExecutionTrace) Write(w io.Writer) error {
 		})
 	}
 	writeAligned(w, rows)
+	if len(t.Failures) > 0 {
+		if _, err := fmt.Fprintf(w, "== degraded: %d pass failure(s) ==\n", len(t.Failures)); err != nil {
+			return err
+		}
+		for _, f := range t.Failures {
+			if _, err := fmt.Fprintf(w, "node %d %s [%s]: %s\n", f.Node, f.Pass, f.Reason, f.Err); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

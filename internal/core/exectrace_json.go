@@ -17,13 +17,22 @@ type JSONPassSpan struct {
 	Err      string `json:"err,omitempty"`
 }
 
+// JSONPassFailure is one degraded-mode pass failure in a JSON trace.
+type JSONPassFailure struct {
+	Node   int    `json:"node"`
+	Pass   string `json:"pass"`
+	Reason string `json:"reason"`
+	Err    string `json:"err"`
+}
+
 // JSONTrace is the JSON envelope of one ExecutionTrace.
 type JSONTrace struct {
-	Workers        int            `json:"workers"`
-	WallUS         int64          `json:"wall_us"`
-	BusyUS         int64          `json:"busy_us"`
-	MaxParallelism int            `json:"max_parallelism"`
-	Spans          []JSONPassSpan `json:"spans"`
+	Workers        int               `json:"workers"`
+	WallUS         int64             `json:"wall_us"`
+	BusyUS         int64             `json:"busy_us"`
+	MaxParallelism int               `json:"max_parallelism"`
+	Spans          []JSONPassSpan    `json:"spans"`
+	Failures       []JSONPassFailure `json:"failures,omitempty"`
 }
 
 // BuildJSONTrace converts an execution trace into its JSON envelope; a nil
@@ -50,6 +59,9 @@ func BuildJSONTrace(t *ExecutionTrace) *JSONTrace {
 			OutSizes: s.OutSizes,
 			Err:      s.Err,
 		}
+	}
+	for _, f := range t.Failures {
+		jt.Failures = append(jt.Failures, JSONPassFailure(f))
 	}
 	return jt
 }

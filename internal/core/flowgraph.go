@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -188,7 +189,9 @@ func (g *PerFlowGraph) After(n *PNode, deps ...*PNode) *PNode {
 
 // runConfig carries per-run scheduler settings.
 type runConfig struct {
-	maxWorkers int
+	maxWorkers        int
+	passTimeout       time.Duration
+	continueOnFailure bool
 }
 
 // RunOption customizes one RunCtx invocation.
@@ -198,6 +201,51 @@ type RunOption func(*runConfig)
 // to the default, GOMAXPROCS.
 func WithMaxWorkers(n int) RunOption {
 	return func(c *runConfig) { c.maxWorkers = n }
+}
+
+// WithPassTimeout bounds each individual pass execution. A pass exceeding
+// the limit fails with a *PassTimeoutError; context-aware passes
+// (ContextPass) are interrupted via their context, while plain passes are
+// abandoned — their goroutine may keep running in the background, so the
+// limit is a liveness guarantee for the graph, not a resource bound on a
+// runaway pass. Values <= 0 disable the limit.
+func WithPassTimeout(d time.Duration) RunOption {
+	return func(c *runConfig) { c.passTimeout = d }
+}
+
+// WithContinueOnFailure switches the scheduler into degraded mode: a
+// failing pass (error, panic, or timeout) no longer cancels the run.
+// Instead it yields empty sets on every consumed output port, a
+// PassFailure is recorded in the ExecutionTrace, downstream passes still
+// run, and Results.Degraded flags every node whose inputs transitively
+// include a failed pass. Cancellation of the run's own context still
+// aborts everything.
+func WithContinueOnFailure() RunOption {
+	return func(c *runConfig) { c.continueOnFailure = true }
+}
+
+// PassPanicError is the failure recorded when a pass panics: the scheduler
+// converts the panic into an error so one buggy pass cannot take down the
+// whole process (or, in degraded mode, the rest of the graph).
+type PassPanicError struct {
+	Pass  string
+	Value any    // the recovered panic value
+	Stack string // the panicking goroutine's stack
+}
+
+func (e *PassPanicError) Error() string {
+	return fmt.Sprintf("pass %q panicked: %v", e.Pass, e.Value)
+}
+
+// PassTimeoutError is the failure recorded when a pass exceeds the
+// WithPassTimeout limit.
+type PassTimeoutError struct {
+	Pass  string
+	Limit time.Duration
+}
+
+func (e *PassTimeoutError) Error() string {
+	return fmt.Sprintf("pass %q timed out after %s", e.Pass, e.Limit)
 }
 
 // Run executes the dataflow graph with a background context. See RunCtx.
@@ -275,11 +323,12 @@ func (g *PerFlowGraph) RunCtx(ctx context.Context, opts ...RunOption) (*Results,
 	defer cancel()
 
 	var (
-		mu        sync.Mutex
-		queue     = make(chan *PNode, total) // never blocks: each node enqueued once
-		remaining = total
-		failures  = map[int]error{}
-		spans     = make([]PassSpan, 0, total)
+		mu           sync.Mutex
+		queue        = make(chan *PNode, total) // never blocks: each node enqueued once
+		remaining    = total
+		failures     = map[int]error{}
+		passFailures []PassFailure // degraded mode: failures that did not stop the run
+		spans        = make([]PassSpan, 0, total)
 	)
 	start := time.Now()
 	for id, d := range indeg {
@@ -289,13 +338,23 @@ func (g *PerFlowGraph) RunCtx(ctx context.Context, opts ...RunOption) (*Results,
 	}
 
 	// finish records one node's outcome and releases newly-ready successors.
-	finish := func(n *PNode, out []*Set, err error) {
+	// In degraded mode a failed node substitutes fallback (empty sets sized
+	// to its consumed ports) and the graph keeps going; run-level
+	// cancellation is never absorbed.
+	finish := func(n *PNode, out []*Set, err error, fallback []*Set) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
-			failures[n.id] = err
-			cancel() // first failure cancels in-flight siblings
-			return
+			if !cfg.continueOnFailure || errors.Is(err, context.Canceled) ||
+				(errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil) {
+				failures[n.id] = err
+				cancel() // first failure cancels in-flight siblings
+				return
+			}
+			passFailures = append(passFailures, PassFailure{
+				Node: n.id, Pass: n.Name(), Reason: failureReason(err), Err: err.Error(),
+			})
+			out = fallback
 		}
 		n.outputs = out
 		n.done = true
@@ -325,14 +384,16 @@ func (g *PerFlowGraph) RunCtx(ctx context.Context, opts ...RunOption) (*Results,
 					if !ok || rctx.Err() != nil {
 						return
 					}
-					g.execNode(rctx, n, wid, start, consumers, &mu, &spans, finish)
+					g.execNode(rctx, n, wid, start, cfg, consumers, &mu, &spans, finish)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
+	sort.Slice(passFailures, func(i, j int) bool { return passFailures[i].Node < passFailures[j].Node })
 	trace := newExecutionTrace(workers, time.Since(start), spans)
+	trace.Failures = passFailures
 	g.lastTrace = trace
 
 	if len(failures) > 0 {
@@ -342,13 +403,81 @@ func (g *PerFlowGraph) RunCtx(ctx context.Context, opts ...RunOption) (*Results,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: PerFlowGraph run canceled: %w", err)
 	}
-	return newResults(g, trace), nil
+	res := newResults(g, trace)
+	if len(passFailures) > 0 {
+		res.degraded = degradedClosure(passFailures, succs, len(g.nodes))
+	}
+	return res, nil
+}
+
+// failureReason classifies a degraded-mode failure for the PassFailure
+// record.
+func failureReason(err error) string {
+	var pe *PassPanicError
+	var te *PassTimeoutError
+	switch {
+	case errors.As(err, &pe):
+		return FailurePanic
+	case errors.As(err, &te):
+		return FailureTimeout
+	default:
+		return FailureError
+	}
+}
+
+// degradedClosure marks every node reachable from a failed node: its
+// outputs were computed from substituted (empty) inputs and must be
+// treated as incomplete.
+func degradedClosure(failures []PassFailure, succs [][]int, n int) []bool {
+	degraded := make([]bool, n)
+	stack := make([]int, 0, len(failures))
+	for _, f := range failures {
+		if !degraded[f.Node] {
+			degraded[f.Node] = true
+			stack = append(stack, f.Node)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs[id] {
+			if !degraded[s] {
+				degraded[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return degraded
 }
 
 // execNode gathers n's inputs, runs its pass, records an instrumentation
-// span and reports the outcome through finish.
+// span and reports the outcome through finish. Alongside the real outputs
+// it prepares the degraded-mode fallback: one empty set per consumed
+// output port, over the environment of the first available input, so
+// downstream passes of a failed node receive well-formed (empty) data.
 func (g *PerFlowGraph) execNode(ctx context.Context, n *PNode, wid int, start time.Time,
-	consumers map[portKey]int, mu *sync.Mutex, spans *[]PassSpan, finish func(*PNode, []*Set, error)) {
+	cfg runConfig, consumers map[portKey]int, mu *sync.Mutex, spans *[]PassSpan,
+	finish func(*PNode, []*Set, error, []*Set)) {
+
+	fallback := func(in []*Set) []*Set {
+		ports := 1
+		for k := range consumers {
+			if k.node == n.id && k.port+1 > ports {
+				ports = k.port + 1
+			}
+		}
+		fb := make([]*Set, ports)
+		for i := range fb {
+			fb[i] = &Set{}
+			for _, s := range in {
+				if s != nil && s.PAG != nil {
+					fb[i].PAG = s.PAG
+					break
+				}
+			}
+		}
+		return fb
+	}
 
 	in := make([]*Set, len(n.inputs))
 	for i, ref := range n.inputs {
@@ -356,7 +485,7 @@ func (g *PerFlowGraph) execNode(ctx context.Context, n *PNode, wid int, start ti
 		// the ready queue), so reading its outputs is race-free.
 		if ref.port >= len(ref.node.outputs) {
 			finish(n, nil, fmt.Errorf("input %d reads missing output port %d of %q",
-				i, ref.port, ref.node.Name()))
+				i, ref.port, ref.node.Name()), fallback(nil))
 			return
 		}
 		s := ref.node.outputs[ref.port]
@@ -367,7 +496,7 @@ func (g *PerFlowGraph) execNode(ctx context.Context, n *PNode, wid int, start ti
 	}
 
 	t0 := time.Since(start)
-	out, err := runPass(ctx, n.pass, in)
+	out, err := runPassBounded(ctx, cfg.passTimeout, n.pass, in)
 	t1 := time.Since(start)
 
 	span := PassSpan{
@@ -386,11 +515,60 @@ func (g *PerFlowGraph) execNode(ctx context.Context, n *PNode, wid int, start ti
 	*spans = append(*spans, span)
 	mu.Unlock()
 
-	finish(n, out, err)
+	finish(n, out, err, fallback(in))
 }
 
-// runPass dispatches to the context-aware entry point when available.
-func runPass(ctx context.Context, p Pass, in []*Set) ([]*Set, error) {
+// runPassBounded enforces the per-pass timeout around runPass. Without a
+// limit the pass runs inline; with one it runs in a child goroutine so a
+// stuck non-context pass cannot wedge the worker — the goroutine is
+// abandoned on timeout (its eventual send lands in a buffered channel).
+func runPassBounded(ctx context.Context, limit time.Duration, p Pass, in []*Set) ([]*Set, error) {
+	if limit <= 0 {
+		return runPass(ctx, p, in)
+	}
+	tctx, tcancel := context.WithTimeout(ctx, limit)
+	defer tcancel()
+	type result struct {
+		out []*Set
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := runPass(tctx, p, in)
+		ch <- result{out, err}
+	}()
+	timedOut := func(err error) bool {
+		// The pass limit fired and the run itself was not canceled: report
+		// it as a pass timeout, not as run cancellation fallout.
+		return errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil && timedOut(r.err) {
+			return nil, &PassTimeoutError{Pass: p.Name(), Limit: limit}
+		}
+		return r.out, r.err
+	case <-tctx.Done():
+		if timedOut(tctx.Err()) {
+			return nil, &PassTimeoutError{Pass: p.Name(), Limit: limit}
+		}
+		return nil, tctx.Err()
+	}
+}
+
+// runPass dispatches to the context-aware entry point when available. A
+// panicking pass is converted into a *PassPanicError instead of unwinding
+// the scheduler: analysis passes run user code, and one bug must not take
+// down the engine (or, server-side, the process).
+func runPass(ctx context.Context, p Pass, in []*Set) (out []*Set, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			out = nil
+			err = &PassPanicError{Pass: p.Name(), Value: r, Stack: string(buf)}
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,9 @@ type Results struct {
 	nodes  []*PNode
 	byNode map[*PNode][]*Set
 	trace  *ExecutionTrace
+	// degraded[id] marks nodes that failed in degraded mode or consumed
+	// (transitively) a failed node's substituted outputs; nil = clean run.
+	degraded []bool
 }
 
 func newResults(g *PerFlowGraph, trace *ExecutionTrace) *Results {
@@ -50,6 +53,33 @@ func (r *Results) ByName(name string) [][]*Set {
 
 // Nodes returns the run's nodes in insertion order.
 func (r *Results) Nodes() []*PNode { return r.nodes }
+
+// Degraded reports whether the node's outputs are incomplete: the node
+// itself failed in degraded mode (WithContinueOnFailure) or one of its
+// transitive inputs did. Always false on a clean run.
+func (r *Results) Degraded(n *PNode) bool {
+	return n != nil && r.degraded != nil && n.id < len(r.degraded) && r.degraded[n.id]
+}
+
+// DegradedNodes returns the nodes with incomplete outputs, in insertion
+// order; nil for a clean run.
+func (r *Results) DegradedNodes() []*PNode {
+	var out []*PNode
+	for _, n := range r.nodes {
+		if r.Degraded(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Failures returns the pass failures recorded in degraded mode.
+func (r *Results) Failures() []PassFailure {
+	if r.trace == nil {
+		return nil
+	}
+	return r.trace.Failures
+}
 
 // Trace returns the run's per-pass instrumentation record.
 func (r *Results) Trace() *ExecutionTrace { return r.trace }

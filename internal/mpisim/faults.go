@@ -1,0 +1,341 @@
+// Fault injection: a seeded FaultPlan perturbs a simulated run with rank
+// crashes, dropped messages, and slow ranks, so the simulator emits the
+// realistically truncated per-rank traces that degraded-data analysis has
+// to survive — instead of only clean runs or hard deadlocks.
+//
+// Everything is deterministic: the same plan (including Seed) over the
+// same program and config yields byte-identical traces. Message drops are
+// decided by a splitmix64 hash of (seed, src, dst, tag, channel sequence
+// number), never by wall-clock state.
+package mpisim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultFaultTimeout is the sender-visible timeout (µs of virtual time)
+// after which a dropped or unmatchable operation gives up.
+const DefaultFaultTimeout = 1000.0
+
+// CrashFault stops a rank at the first operation boundary at or after
+// virtual time At; the rank's remaining operations never execute and its
+// trace is truncated at the crash point.
+type CrashFault struct {
+	Rank int
+	At   float64 // µs of virtual time
+}
+
+// DropFault makes the network drop messages sent by Rank once its clock
+// reaches After. Prob in (0,1] drops that fraction of messages (seeded,
+// deterministic); Prob >= 1 drops every message. The sender observes a
+// timeout of FaultPlan.Timeout instead of a completion; the receiver
+// blocks until replay-level stall resolution truncates it.
+type DropFault struct {
+	Rank  int
+	After float64 // µs of virtual time; 0 = from the start
+	Prob  float64 // fraction of messages dropped; <=0 treated as 1
+}
+
+// SlowFault dilates all compute on Rank by Factor (> 1 slows it down),
+// modeling a straggler node. The rank's data stays complete — only its
+// timing is perturbed.
+type SlowFault struct {
+	Rank   int
+	Factor float64
+}
+
+// FaultPlan is a deterministic schedule of injected failures. A nil plan
+// means a clean run. Plans are immutable once handed to the simulator.
+type FaultPlan struct {
+	// Seed drives the drop-probability hash. Two plans that differ only
+	// in Seed drop different message subsets.
+	Seed int64
+	// Timeout is the sender-visible give-up time for dropped messages and
+	// the extra virtual time charged to a rank truncated while blocked.
+	// Zero means DefaultFaultTimeout.
+	Timeout float64
+
+	Crashes []CrashFault
+	Drops   []DropFault
+	Slows   []SlowFault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Drops) == 0 && len(p.Slows) == 0)
+}
+
+// timeout returns the effective give-up time.
+func (p *FaultPlan) timeout() float64 {
+	if p == nil || p.Timeout <= 0 {
+		return DefaultFaultTimeout
+	}
+	return p.Timeout
+}
+
+// crashAt returns the crash time for rank, if any. With several crash
+// faults on one rank the earliest wins.
+func (p *FaultPlan) crashAt(rank int) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	t, ok := 0.0, false
+	for _, c := range p.Crashes {
+		if c.Rank == rank && (!ok || c.At < t) {
+			t, ok = c.At, true
+		}
+	}
+	return t, ok
+}
+
+// slowFactor returns the compute dilation for rank (1 = none). Multiple
+// slow faults on one rank compose multiplicatively.
+func (p *FaultPlan) slowFactor(rank int) float64 {
+	if p == nil {
+		return 1
+	}
+	f := 1.0
+	for _, s := range p.Slows {
+		if s.Rank == rank && s.Factor > 0 {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// dropMessage decides deterministically whether the seq-th send on channel
+// (src, dst, tag), posted at virtual time t, is dropped.
+func (p *FaultPlan) dropMessage(src, dst, tag, seq int, t float64) bool {
+	if p == nil {
+		return false
+	}
+	for _, d := range p.Drops {
+		if d.Rank != src || t < d.After {
+			continue
+		}
+		prob := d.Prob
+		if prob <= 0 || prob >= 1 {
+			return true
+		}
+		h := uint64(p.Seed)
+		for _, v := range [...]int{src, dst, tag, seq} {
+			h = splitmix64(h ^ uint64(int64(v)))
+		}
+		// 53 uniform mantissa bits -> [0, 1).
+		if float64(h>>11)/(1<<53) < prob {
+			return true
+		}
+	}
+	return false
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// normalize sorts the fault lists into canonical order so String() (and
+// anything keyed on it, like the serve result cache) is stable regardless
+// of how the plan was built.
+func (p *FaultPlan) normalize() {
+	sort.Slice(p.Crashes, func(i, j int) bool {
+		a, b := p.Crashes[i], p.Crashes[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.At < b.At
+	})
+	sort.Slice(p.Drops, func(i, j int) bool {
+		a, b := p.Drops[i], p.Drops[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.After != b.After {
+			return a.After < b.After
+		}
+		return a.Prob < b.Prob
+	})
+	sort.Slice(p.Slows, func(i, j int) bool {
+		a, b := p.Slows[i], p.Slows[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Factor < b.Factor
+	})
+}
+
+// String renders the plan in the canonical spec syntax accepted by
+// ParseFaultPlan; ParseFaultPlan(p.String()) round-trips.
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	q := &FaultPlan{Seed: p.Seed, Timeout: p.Timeout}
+	q.Crashes = append(q.Crashes, p.Crashes...)
+	q.Drops = append(q.Drops, p.Drops...)
+	q.Slows = append(q.Slows, p.Slows...)
+	q.normalize()
+	var parts []string
+	parts = append(parts, "seed="+strconv.FormatInt(q.Seed, 10))
+	if q.Timeout > 0 {
+		parts = append(parts, "timeout="+formatFloat(q.Timeout))
+	}
+	for _, c := range q.Crashes {
+		parts = append(parts, fmt.Sprintf("crash:rank=%d,at=%s", c.Rank, formatFloat(c.At)))
+	}
+	for _, d := range q.Drops {
+		s := fmt.Sprintf("drop:rank=%d", d.Rank)
+		if d.After > 0 {
+			s += ",after=" + formatFloat(d.After)
+		}
+		if d.Prob > 0 && d.Prob < 1 {
+			s += ",prob=" + formatFloat(d.Prob)
+		}
+		parts = append(parts, s)
+	}
+	for _, s := range q.Slows {
+		parts = append(parts, fmt.Sprintf("slow:rank=%d,factor=%s", s.Rank, formatFloat(s.Factor)))
+	}
+	return strings.Join(parts, ";")
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ParseFaultPlan parses a fault-plan spec of semicolon-separated clauses:
+//
+//	seed=42                      PRNG seed for probabilistic drops
+//	timeout=500                  sender-visible give-up time in µs
+//	crash:rank=2,at=800          rank 2 dies at virtual time 800 µs
+//	drop:rank=1,after=100,prob=0.5   half of rank 1's sends vanish after t=100
+//	slow:rank=3,factor=4         rank 3 computes 4x slower
+//
+// Whitespace around clauses is ignored. An empty spec yields a nil plan.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &FaultPlan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, argstr, hasArgs := strings.Cut(clause, ":")
+		if !hasArgs {
+			// Bare key=value clause: seed or timeout.
+			key, val, ok := strings.Cut(clause, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: clause %q: want kind:args or key=value", clause)
+			}
+			switch key {
+			case "seed":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad seed %q", val)
+				}
+				p.Seed = n
+			case "timeout":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f <= 0 {
+					return nil, fmt.Errorf("faults: bad timeout %q (want positive µs)", val)
+				}
+				p.Timeout = f
+			default:
+				return nil, fmt.Errorf("faults: unknown setting %q", key)
+			}
+			continue
+		}
+		args, err := parseFaultArgs(argstr)
+		if err != nil {
+			return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
+		}
+		rank, ok := args["rank"]
+		if !ok || rank != float64(int(rank)) || rank < 0 {
+			return nil, fmt.Errorf("faults: clause %q: want rank=<non-negative int>", clause)
+		}
+		switch kind {
+		case "crash":
+			at, ok := args["at"]
+			if !ok || at < 0 {
+				return nil, fmt.Errorf("faults: clause %q: want at=<µs>", clause)
+			}
+			if err := wantKeys(args, "rank", "at"); err != nil {
+				return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
+			}
+			p.Crashes = append(p.Crashes, CrashFault{Rank: int(rank), At: at})
+		case "drop":
+			after := args["after"]
+			prob := args["prob"]
+			if after < 0 {
+				return nil, fmt.Errorf("faults: clause %q: after must be >= 0", clause)
+			}
+			if _, has := args["prob"]; has && (prob <= 0 || prob > 1) {
+				return nil, fmt.Errorf("faults: clause %q: prob must be in (0, 1]", clause)
+			}
+			if err := wantKeys(args, "rank", "after", "prob"); err != nil {
+				return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
+			}
+			p.Drops = append(p.Drops, DropFault{Rank: int(rank), After: after, Prob: prob})
+		case "slow":
+			factor, ok := args["factor"]
+			if !ok || factor <= 0 {
+				return nil, fmt.Errorf("faults: clause %q: want factor=<positive multiplier>", clause)
+			}
+			if err := wantKeys(args, "rank", "factor"); err != nil {
+				return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
+			}
+			p.Slows = append(p.Slows, SlowFault{Rank: int(rank), Factor: factor})
+		default:
+			return nil, fmt.Errorf("faults: unknown fault kind %q (want crash, drop, or slow)", kind)
+		}
+	}
+	if p.Empty() && p.Seed == 0 && p.Timeout == 0 {
+		return nil, nil
+	}
+	p.normalize()
+	return p, nil
+}
+
+func parseFaultArgs(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("want key=value, got %q", kv)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q for %q", val, key)
+		}
+		out[strings.TrimSpace(key)] = f
+	}
+	return out, nil
+}
+
+func wantKeys(args map[string]float64, allowed ...string) error {
+	for k := range args {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown argument %q", k)
+		}
+	}
+	return nil
+}

@@ -55,6 +55,19 @@ type Config struct {
 	// GPUBandwidth.
 	GPULaunchOverhead float64 // µs; default 3
 	GPUBandwidth      float64 // bytes/µs; default 8000 (PCIe-ish)
+
+	// Faults injects deterministic failures (rank crashes, dropped
+	// messages, slow ranks) into the run; nil simulates a healthy cluster.
+	// With a non-nil plan the run carries per-rank trace.RankStatus and a
+	// replay stall degrades into truncated traces instead of a
+	// DeadlockError.
+	Faults *FaultPlan
+
+	// AllowPartial converts a replay stall into deterministic truncation
+	// of the blocked ranks (marked Stalled in Run.Status) even without a
+	// fault plan, so a hanging program still yields partial traces.
+	// Implied by Faults != nil.
+	AllowPartial bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +111,11 @@ func (c Config) slowdown() float64 {
 		return 1
 	}
 	return 1 + c.SampleCost/c.SamplingPeriod
+}
+
+// slowFor is the injected straggler dilation of rank (1 = none).
+func (c Config) slowFor(rank int) float64 {
+	return c.Faults.slowFactor(rank)
 }
 
 // collectiveCost returns the synchronization-free cost of a collective on
@@ -177,8 +195,10 @@ func RunCtx(ctx context.Context, p *ir.Program, cfg Config) (*trace.Run, error) 
 
 	world := &world{
 		cfg: cfg, prog: p, cct: cct, ranks: ranks,
-		sends: map[chanKey][]*message{},
-		recvs: map[chanKey][]*recvPost{},
+		sends:   map[chanKey][]*message{},
+		recvs:   map[chanKey][]*recvPost{},
+		status:  make([]trace.RankStatus, cfg.NRanks),
+		dropSeq: map[chanKey]int{},
 	}
 	if err := world.replay(ctx); err != nil {
 		return nil, err
@@ -197,6 +217,19 @@ func RunCtx(ctx context.Context, p *ir.Program, cfg Config) (*trace.Run, error) 
 		run.Elapsed[r] = rs.clock
 	}
 	run.Syncs = world.syncs
+	if cfg.Faults != nil {
+		for _, s := range cfg.Faults.Slows {
+			if s.Rank >= 0 && s.Rank < cfg.NRanks {
+				world.status[s.Rank].SlowFactor = cfg.Faults.slowFactor(s.Rank)
+			}
+		}
+	}
+	for _, s := range world.status {
+		if !s.Clean() {
+			run.Status = world.status
+			break
+		}
+	}
 	return run, nil
 }
 
@@ -308,7 +341,7 @@ func (f *flattener) nodes(ns []ir.Node, ctx trace.CtxID, mult float64) error {
 func (f *flattener) node(n ir.Node, ctx trace.CtxID, mult float64) error {
 	switch x := n.(type) {
 	case *ir.Compute:
-		dur := x.Cost.Value(f.rank, f.nranks) * mult * f.cfg.slowdown()
+		dur := x.Cost.Value(f.rank, f.nranks) * mult * f.cfg.slowdown() * f.cfg.slowFor(f.rank)
 		if dur <= 0 {
 			return nil
 		}
@@ -343,7 +376,7 @@ func (f *flattener) node(n ir.Node, ctx trace.CtxID, mult float64) error {
 	case *ir.Call:
 		callCtx := f.cct.Intern(ctx, x.ID())
 		if x.External || x.Indirect {
-			dur := x.Cost.Value(f.rank, f.nranks) * mult * f.cfg.slowdown()
+			dur := x.Cost.Value(f.rank, f.nranks) * mult * f.cfg.slowdown() * f.cfg.slowFor(f.rank)
 			if dur <= 0 {
 				return nil
 			}
@@ -394,7 +427,7 @@ func (f *flattener) node(n ir.Node, ctx trace.CtxID, mult float64) error {
 		case *ir.Alloc:
 			cnt, hold, id = y.Count.Value(f.rank, f.nranks), y.Hold.Value(f.rank, f.nranks), y.ID()
 		}
-		dur := cnt * hold * mult
+		dur := cnt * hold * mult * f.cfg.slowFor(f.rank)
 		if dur <= 0 {
 			return nil
 		}
@@ -514,6 +547,49 @@ type world struct {
 	recvs map[chanKey][]*recvPost
 	colls []*collective
 	syncs []trace.SyncEdge
+
+	// Fault-injection state: per-rank data quality and per-channel send
+	// sequence counters feeding the deterministic drop hash.
+	status  []trace.RankStatus
+	dropSeq map[chanKey]int
+}
+
+// degradeStalls is the stall resolution that replaces DeadlockError when
+// fault injection (or AllowPartial) is active: every rank still blocked is
+// truncated at its current clock plus the fault timeout, as if the MPI
+// runtime noticed the dead peer and gave up. It returns true if it
+// truncated anyone.
+func (w *world) degradeStalls() bool {
+	if w.cfg.Faults == nil && !w.cfg.AllowPartial {
+		return false
+	}
+	timeout := w.cfg.Faults.timeout()
+	truncated := false
+	for _, rs := range w.ranks {
+		if rs.pc >= len(rs.ops) {
+			continue
+		}
+		o := &rs.ops[rs.pc]
+		name := "compute"
+		if o.kind == opComm {
+			name = o.commOp.String()
+		}
+		rs.clock += timeout
+		w.status[rs.rank].Stalled = true
+		w.status[rs.rank].StallTime = rs.clock
+		w.status[rs.rank].StallOp = name
+		rs.pc = len(rs.ops)
+		truncated = true
+	}
+	return truncated
+}
+
+// crashRank truncates a rank whose crash time has passed: its remaining
+// operations never execute.
+func (w *world) crashRank(rs *rankState) {
+	w.status[rs.rank].Crashed = true
+	w.status[rs.rank].CrashTime = rs.clock
+	rs.pc = len(rs.ops)
 }
 
 func (w *world) replay(ctx context.Context) error {
@@ -535,6 +611,9 @@ func (w *world) replay(ctx context.Context) error {
 			return nil
 		}
 		if !progress {
+			if w.degradeStalls() {
+				continue
+			}
 			return w.deadlock()
 		}
 	}
@@ -567,6 +646,10 @@ func (w *world) deadlock() error {
 func (w *world) step(rs *rankState) bool {
 	if rs.pc >= len(rs.ops) {
 		return false
+	}
+	if t, ok := w.cfg.Faults.crashAt(rs.rank); ok && rs.clock >= t {
+		w.crashRank(rs)
+		return true
 	}
 	o := &rs.ops[rs.pc]
 	switch o.kind {
@@ -959,6 +1042,20 @@ func (w *world) postSend(rs *rankState, o *op) *message {
 		eager:    o.bytes <= w.cfg.EagerThreshold,
 		srcRank:  rs.rank,
 		srcNode:  o.node,
+	}
+	if w.cfg.Faults != nil {
+		seq := w.dropSeq[k]
+		w.dropSeq[k] = seq + 1
+		if w.cfg.Faults.dropMessage(rs.rank, o.peer, o.tag, seq, rs.clock) {
+			// The payload vanishes: it never enters the channel, so the
+			// receiver blocks until stall resolution truncates it. The
+			// sender observes a timeout instead of a completion.
+			msg.eager = false
+			msg.matched = true
+			msg.completion = rs.clock + w.cfg.Faults.timeout()
+			w.status[rs.rank].DroppedMsgs++
+			return msg
+		}
 	}
 	if msg.eager {
 		msg.arrival = rs.clock + w.cfg.transfer(o.bytes)

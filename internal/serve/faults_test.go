@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"perflow"
+)
+
+// TestFaultJobDegradedReport submits a job with a crash fault and checks it
+// completes as done — not failed — with the data-quality section in the
+// report instead of an error.
+func TestFaultJobDegradedReport(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "dsl", "halo2d.pfl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SubmitRequest{
+		DSL: string(src), Analysis: "hotspot", Ranks: 8,
+		Faults: "seed=7;crash:rank=3,at=200",
+	}
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	final := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("fault job finished %s (%s), want done", final.State, final.Error)
+	}
+	var result JobResult
+	if err := json.Unmarshal(final.Result, &result); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(result.Report, "-- data quality --") {
+		t.Errorf("degraded report missing data-quality section:\n%s", result.Report)
+	}
+	if !strings.Contains(result.Report, "crashed") {
+		t.Errorf("data-quality section missing the crashed rank:\n%s", result.Report)
+	}
+
+	// An equivalent plan with reordered clauses and cosmetic float
+	// formatting is the same content address; a different seed is not.
+	reordered := req
+	reordered.Faults = "crash:rank=3,at=200.0;seed=7"
+	if req.Key() != reordered.Key() {
+		t.Error("equivalent fault plans must share a cache key")
+	}
+	otherSeed := req
+	otherSeed.Faults = "seed=8;crash:rank=3,at=200"
+	if req.Key() == otherSeed.Key() {
+		t.Error("fault seed must affect the content address")
+	}
+	noFaults := req
+	noFaults.Faults = ""
+	if req.Key() == noFaults.Key() {
+		t.Error("fault plan must affect the content address")
+	}
+	blank := noFaults
+	blank.Faults = "  "
+	if blank.Key() != noFaults.Key() {
+		t.Error("whitespace-only fault spec must hash like no faults")
+	}
+
+	// Resubmitting the reordered-but-equivalent request hits the cache.
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", reordered)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("equivalent fault resubmit: want 200 cache hit, got %d: %s", resp.StatusCode, data)
+	}
+	if v := decodeView(t, data); !v.Cached {
+		t.Errorf("equivalent fault resubmit not served from cache: %+v", v)
+	}
+}
+
+// TestFaultSpecValidation422 checks a malformed fault plan is rejected
+// synchronously, before any queue slot is spent.
+func TestFaultSpecValidation422(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	for _, spec := range []string{"crash:rank=x", "bogus:rank=1", "crash:rank=1", "seed=1;;drop:prob=0.5"} {
+		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+			SubmitRequest{Workload: "cg", Analysis: "profile", Ranks: 4, Faults: spec})
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("faults=%q: want 422, got %d: %s", spec, resp.StatusCode, data)
+		}
+	}
+}
+
+// registerPanicAnalysis installs the deliberately-panicking analysis once
+// per process; repeat registrations (go test -count=N) are fine.
+func registerPanicAnalysis(t *testing.T) {
+	t.Helper()
+	err := perflow.RegisterAnalysis("panic-e2e", perflow.AnalysisSpec{
+		Run: func(ctx context.Context, pf *perflow.PerFlow, res, large *perflow.Result, top int, w io.Writer) (*perflow.Set, error) {
+			panic("deliberate e2e panic")
+		},
+	})
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+}
+
+// TestPanickingAnalysisFailsJobNotServer is the crash-containment e2e: a
+// job whose analysis panics must fail cleanly while the server stays
+// healthy and keeps completing other jobs.
+func TestPanickingAnalysisFailsJobNotServer(t *testing.T) {
+	registerPanicAnalysis(t)
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		SubmitRequest{Workload: "ep", Analysis: "panic-e2e", Ranks: 2})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit panicking job: %d: %s", resp.StatusCode, data)
+	}
+	final := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if final.State != StateFailed {
+		t.Fatalf("panicking job finished %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "panicked") {
+		t.Errorf("job error %q does not mention the panic", final.Error)
+	}
+
+	// The single worker that recovered the panic is still alive: the health
+	// endpoint answers and a normal job on the same worker completes.
+	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: want 200, got %d", resp.StatusCode)
+	}
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		SubmitRequest{Workload: "ep", Analysis: "profile", Ranks: 2})
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit after panic: %d: %s", resp.StatusCode, data)
+	}
+	if v := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second); v.State != StateDone {
+		t.Fatalf("follow-up job finished %s (%s), want done", v.State, v.Error)
+	}
+}
+
+// TestDrainWaitsForFaultJobMidRun is the SIGTERM path with a fault job in
+// flight: Drain must let the degraded run finish and publish its report
+// rather than aborting it.
+func TestDrainWaitsForFaultJobMidRun(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2, JobTimeout: 2 * time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// A slow-rank fault keeps the data-quality machinery engaged for the
+	// whole (long) run without truncating it, so the job is reliably still
+	// mid-run when Drain starts.
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{
+		DSL: slowDSL(20000), Analysis: "profile", Ranks: 48,
+		Faults: "seed=3;slow:rank=5,factor=4",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	job := decodeView(t, data)
+	waitState(t, ts, job.ID, StateRunning, 30*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain with fault job mid-run: %v", err)
+	}
+
+	// Drain returned, so the job must be terminal — and done, not killed.
+	final := waitTerminal(t, ts, job.ID, 5*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("fault job finished %s (%s) across drain, want done", final.State, final.Error)
+	}
+	var result JobResult
+	if err := json.Unmarshal(final.Result, &result); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(result.Report, "-- data quality --") || !strings.Contains(result.Report, "dilated") {
+		t.Errorf("degraded report missing slow-rank data-quality section:\n%s", result.Report)
+	}
+}

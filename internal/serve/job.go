@@ -12,6 +12,7 @@ import (
 
 	"perflow/internal/core"
 	"perflow/internal/lint"
+	"perflow/internal/mpisim"
 )
 
 // SubmitRequest is the body of POST /v1/jobs: one program (a named built-in
@@ -36,6 +37,11 @@ type SubmitRequest struct {
 	// (the CLI's -j). It does not change results, so it is excluded from
 	// the cache key.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Faults is a deterministic fault-injection plan in the CLI's -faults
+	// syntax, e.g. "seed=7;crash:rank=3,at=5000". The analysis degrades
+	// gracefully and the report carries a data-quality section. Faults
+	// change results, so the plan (canonicalized) is part of the cache key.
+	Faults string `json:"faults,omitempty"`
 	// TimeoutMS caps the job's run time; 0 uses the server default, and
 	// values above the server default are clamped to it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -66,6 +72,9 @@ func (r SubmitRequest) Key() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "analysis=%s\nranks=%d\nranks2=%d\nthreads=%d\ntop=%d\n",
 		r.Analysis, r.Ranks, r.Ranks2, r.Threads, r.Top)
+	if spec := canonicalFaults(r.Faults); spec != "" {
+		fmt.Fprintf(h, "faults=%s\n", spec)
+	}
 	if r.Workload != "" {
 		fmt.Fprintf(h, "workload=%s\n", r.Workload)
 	} else {
@@ -73,6 +82,21 @@ func (r SubmitRequest) Key() string {
 		io.WriteString(h, canonicalDSL(r.DSL))
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalFaults normalizes a fault-plan spec so equivalent plans (clause
+// reordering, float formatting, whitespace) hash to the same cache key. An
+// unparseable spec hashes as written — validate rejects it before any job
+// reaches the cache, so this is only a defensive fallback.
+func canonicalFaults(spec string) string {
+	plan, err := mpisim.ParseFaultPlan(spec)
+	if err != nil {
+		return spec
+	}
+	if plan == nil {
+		return ""
+	}
+	return plan.String()
 }
 
 // canonicalDSL normalizes a DSL source so formatting-only variants hash to

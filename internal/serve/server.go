@@ -180,6 +180,9 @@ func (s *Server) validate(req SubmitRequest) (SubmitRequest, []lint.Diagnostic, 
 	if perflow.AnalysisNeedsTwoScales(req.Analysis) && req.Ranks2 <= req.Ranks {
 		return req, nil, fmt.Errorf("analysis %q needs ranks2 > ranks", req.Analysis)
 	}
+	if _, err := perflow.ParseFaultPlan(req.Faults); err != nil {
+		return req, nil, fmt.Errorf("invalid faults spec: %v", err)
+	}
 
 	// Resolve the program and lint it synchronously: parse failures and
 	// error-severity findings reject the submission up front (422), before
@@ -374,9 +377,23 @@ func (s *Server) runJob(job *Job) {
 // uses (perflow.RunCtx + AnalyzeCtx), so the report bytes match a CLI
 // invocation with the same options. Each collection parses or builds a
 // fresh program, also matching the CLI.
-func (s *Server) execute(ctx context.Context, req SubmitRequest) ([]byte, error) {
+//
+// A panic anywhere in the pipeline (including user-registered analyses) is
+// converted into a failed job instead of killing the worker goroutine — one
+// bad job must never take the server down.
+func (s *Server) execute(ctx context.Context, req SubmitRequest) (resultJSON []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resultJSON, err = nil, fmt.Errorf("analysis panicked: %v", r)
+		}
+	}()
 	pf := perflow.New()
 	started := time.Now()
+
+	plan, err := perflow.ParseFaultPlan(req.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("invalid faults spec: %v", err)
+	}
 
 	collect := func(ranks int, withParallel bool) (*perflow.Result, error) {
 		opts := perflow.RunOptions{
@@ -384,6 +401,7 @@ func (s *Server) execute(ctx context.Context, req SubmitRequest) ([]byte, error)
 			Threads:          req.Threads,
 			SkipParallelView: !withParallel,
 			Parallelism:      req.Parallelism,
+			Faults:           plan,
 		}
 		if req.Workload != "" {
 			return pf.RunWorkloadCtx(ctx, req.Workload, opts)
@@ -393,14 +411,25 @@ func (s *Server) execute(ctx context.Context, req SubmitRequest) ([]byte, error)
 
 	needsParallel := perflow.AnalysisNeedsParallelView(req.Analysis)
 	var res, large *perflow.Result
-	var err error
 	if perflow.AnalysisNeedsTwoScales(req.Analysis) {
 		// Two-scale shape of the CLI: small run top-down only, large run
-		// with the parallel view.
-		if res, err = collect(req.Ranks, false); err != nil {
+		// with the parallel view — collected through the cancellation-aware
+		// two-scale pipeline so a canceled job aborts between the scales too.
+		var prog *ir.Program
+		if req.Workload != "" {
+			prog, err = workloads.Get(req.Workload)
+		} else {
+			prog, err = ir.Parse(strings.NewReader(req.DSL))
+		}
+		if err != nil {
 			return nil, err
 		}
-		if large, err = collect(req.Ranks2, needsParallel); err != nil {
+		smallOpts := perflow.RunOptions{Ranks: req.Ranks, Threads: req.Threads,
+			SkipParallelView: true, Parallelism: req.Parallelism, Faults: plan}
+		largeOpts := smallOpts
+		largeOpts.Ranks = req.Ranks2
+		largeOpts.SkipParallelView = !needsParallel
+		if res, large, err = pf.RunAtScalesCtx(ctx, prog, smallOpts, largeOpts); err != nil {
 			return nil, err
 		}
 	} else if res, err = collect(req.Ranks, needsParallel); err != nil {

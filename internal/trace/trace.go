@@ -171,6 +171,39 @@ type SyncEdge struct {
 	Lock                 string // lock name for SyncLock
 }
 
+// RankStatus records the data quality of one rank's event stream. The
+// zero value means the stream is clean and complete. Statuses are set by
+// fault injection (internal/mpisim) and by the salvage decoder.
+type RankStatus struct {
+	Crashed  bool // rank stopped executing at CrashTime (fault injection)
+	Stalled  bool // truncated while blocked on a dead or silent peer
+	Salvaged bool // stream was recovered by the salvage decoder
+
+	CrashTime float64 // virtual µs at which the rank died
+	StallTime float64 // virtual µs at which the runtime gave up waiting
+	StallOp   string  // operation the rank was blocked in when truncated
+
+	DroppedMsgs int // messages sent by this rank that the network dropped
+	LostEvents  int // trailing events the salvage decoder could not recover
+
+	// SlowFactor is the injected compute dilation (0 or 1 = none). A slow
+	// rank's data is complete but its timing is perturbed.
+	SlowFactor float64
+}
+
+// Incomplete reports whether the stream is missing events: the analysis
+// layers tag metrics derived from such ranks with the data_quality
+// attribute.
+func (s RankStatus) Incomplete() bool {
+	return s.Crashed || s.Stalled || s.Salvaged || s.LostEvents > 0
+}
+
+// Clean reports whether the status carries no degradation or perturbation
+// at all.
+func (s RankStatus) Clean() bool {
+	return !s.Incomplete() && s.DroppedMsgs == 0 && (s.SlowFactor == 0 || s.SlowFactor == 1)
+}
+
 // Run is the complete recorded execution of a program: the event streams of
 // all ranks plus shared metadata.
 type Run struct {
@@ -184,6 +217,30 @@ type Run struct {
 	Syncs []SyncEdge
 	// Elapsed is the per-rank finishing time (virtual µs).
 	Elapsed []float64
+	// Status is the per-rank data quality; nil for a clean run.
+	Status []RankStatus
+}
+
+// Degraded reports whether any rank's data is incomplete or perturbed by
+// message loss.
+func (r *Run) Degraded() bool {
+	for _, s := range r.Status {
+		if s.Incomplete() || s.DroppedMsgs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradedRanks returns the ranks (ascending) whose streams are incomplete.
+func (r *Run) DegradedRanks() []int {
+	var out []int
+	for i, s := range r.Status {
+		if s.Incomplete() {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // TotalTime returns the virtual makespan: the maximum per-rank elapsed time.

@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"perflow/internal/collector"
 	"perflow/internal/core"
 	"perflow/internal/ir"
 	"perflow/internal/lint"
+	"perflow/internal/mpisim"
 	"perflow/internal/pag"
 	"perflow/internal/trace"
 	"perflow/internal/viz"
@@ -83,7 +85,21 @@ type (
 	// LintError is the failure Run returns when a program has
 	// error-severity lint findings; it carries every finding of the run.
 	LintError = lint.Error
+	// FaultPlan is a deterministic fault-injection plan: rank crashes,
+	// message drops, and slow ranks applied to the simulated execution.
+	FaultPlan = mpisim.FaultPlan
+	// Coverage summarizes per-rank data quality for a degraded run.
+	Coverage = collector.Coverage
+	// PassFailure records one pass that failed while a degraded
+	// PerFlowGraph run continued.
+	PassFailure = core.PassFailure
 )
+
+// ParseFaultPlan parses the textual fault-plan spec the cmd/pflow -faults
+// flag and the serve API accept, e.g.
+// "seed=7;crash:rank=3,at=5000;drop:rank=1,prob=0.5;slow:rank=2,factor=4".
+// An empty spec yields a nil plan (no faults).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return mpisim.ParseFaultPlan(spec) }
 
 // Lint severity levels, re-exported for inspecting Diagnostics.
 const (
@@ -109,6 +125,14 @@ func NewPerFlowGraph() *PerFlowGraph { return core.NewPerFlowGraph() }
 // WithMaxWorkers bounds the dataflow engine's worker pool for one run
 // (default: GOMAXPROCS).
 func WithMaxWorkers(n int) RunOption { return core.WithMaxWorkers(n) }
+
+// WithContinueOnFailure switches a PerFlowGraph run to degraded mode: a
+// failing (erroring, panicking, or timed-out) pass yields empty outputs and
+// a recorded PassFailure instead of aborting the run.
+func WithContinueOnFailure() RunOption { return core.WithContinueOnFailure() }
+
+// WithPassTimeout bounds each pass of a PerFlowGraph run.
+func WithPassTimeout(d time.Duration) RunOption { return core.WithPassTimeout(d) }
 
 // WriteTrace renders an execution trace as an aligned text table; a nil
 // trace writes a short notice instead.
@@ -146,6 +170,12 @@ type RunOptions struct {
 	// program has error-severity findings and attaches warning-severity
 	// findings to the matching PAG vertices (attribute "lint").
 	SkipLint bool
+	// Faults injects deterministic failures (rank crashes, message drops,
+	// slow ranks) into the simulated execution. The run degrades instead of
+	// failing: both PAG views are built from the surviving ranks, affected
+	// metrics carry the data_quality=partial attribute, and Result.Coverage
+	// summarizes what was lost. cmd/pflow exposes it as -faults.
+	Faults *FaultPlan
 }
 
 // PerFlow is the top-level handle, mirroring the paper's `pflow` object.
@@ -204,17 +234,7 @@ func (pf *PerFlow) RunCtx(ctx context.Context, p *Program, opts RunOptions) (*Re
 			return nil, &lint.Error{Diagnostics: diags}
 		}
 	}
-	mode := collector.ModeHybrid
-	if opts.Tracing {
-		mode = collector.ModeTracing
-	}
-	res, err := collector.CollectCtx(ctx, p, collector.Options{
-		Ranks:            opts.Ranks,
-		Threads:          opts.Threads,
-		Mode:             mode,
-		SkipParallelView: opts.SkipParallelView,
-		Parallelism:      opts.Parallelism,
-	})
+	res, err := collector.CollectCtx(ctx, p, collectorOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +242,62 @@ func (pf *PerFlow) RunCtx(ctx context.Context, p *Program, opts RunOptions) (*Re
 		res.TopDown.AttachDiagnostics(diags)
 	}
 	return res, nil
+}
+
+// collectorOptions maps the public RunOptions onto the collector's options.
+func collectorOptions(opts RunOptions) collector.Options {
+	mode := collector.ModeHybrid
+	if opts.Tracing {
+		mode = collector.ModeTracing
+	}
+	return collector.Options{
+		Ranks:            opts.Ranks,
+		Threads:          opts.Threads,
+		Mode:             mode,
+		SkipParallelView: opts.SkipParallelView,
+		Parallelism:      opts.Parallelism,
+		Faults:           opts.Faults,
+	}
+}
+
+// RunAtScalesCtx collects the program at two scales through the collector's
+// cancellation-aware two-scale pipeline (the input shape of scalability
+// analysis), sharing the lint gate with RunCtx. The program is linted once;
+// cancellation between and during the two collections aborts promptly with
+// ctx.Err().
+func (pf *PerFlow) RunAtScalesCtx(ctx context.Context, p *Program, small, large RunOptions) (*Result, *Result, error) {
+	if p == nil {
+		return nil, nil, fmt.Errorf("perflow: nil program")
+	}
+	if small.Ranks <= 0 {
+		small.Ranks = 4
+	}
+	if large.Ranks <= 0 {
+		large.Ranks = 64
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, nil, err
+	}
+	var diags []Diagnostic
+	if !small.SkipLint {
+		var err error
+		diags, err = lint.Run(p, lint.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if lint.HasErrors(diags) {
+			return nil, nil, &lint.Error{Diagnostics: diags}
+		}
+	}
+	rs, rl, err := collector.CollectAtScalesCtx(ctx, p, collectorOptions(small), collectorOptions(large))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(diags) > 0 {
+		rs.TopDown.AttachDiagnostics(diags)
+		rl.TopDown.AttachDiagnostics(diags)
+	}
+	return rs, rl, nil
 }
 
 // RunWorkload runs one of the built-in workload models (the synthetic NPB
