@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"perflow"
+)
+
+// runDiff implements the "pflow diff" subcommand: collect two runs and
+// print their structured differential report.
+//
+//	pflow diff zeusmp zeusmp-opt -ranks 8
+//	pflow diff halo2d.pfl -ranks 4 -b-ranks 8
+//	pflow diff -b-faults "seed=7;crash:rank=3,at=200" examples/dsl/halo2d.pfl
+//
+// A program spec is `workload:NAME`, `dsl:PATH`, a built-in workload
+// name, or a DSL file path. With one spec, run B is the same program
+// under the B-side overrides (-b-ranks / -b-faults), so before/after,
+// N-vs-2N and healthy-vs-degraded comparisons all fit one command.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ranks   = fs.Int("ranks", 8, "MPI rank count for both runs")
+		bRanks  = fs.Int("b-ranks", 0, "rank count override for run B (scale diffs)")
+		threads = fs.Int("threads", 1, "threads per rank in parallel regions")
+		par     = fs.Int("j", 0, "worker count for sharded PAG construction (0 = all cores)")
+		aFaults = fs.String("a-faults", "", "fault-injection plan for run A")
+		bFaults = fs.String("b-faults", "", "fault-injection plan for run B")
+		jsonOut = fs.Bool("json", false, "emit the diff report as JSON")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pflow diff [flags] <spec-a> [<spec-b>]")
+		fmt.Fprintln(stderr, "  spec: workload:NAME | dsl:PATH | NAME | PATH")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitUsage
+	}
+	var specA, specB string
+	switch fs.NArg() {
+	case 1:
+		specA, specB = fs.Arg(0), fs.Arg(0)
+	case 2:
+		specA, specB = fs.Arg(0), fs.Arg(1)
+	default:
+		fs.Usage()
+		return ExitUsage
+	}
+	if specA == specB && *bRanks == 0 && *aFaults == *bFaults {
+		fmt.Fprintln(stderr, "pflow diff: the two runs are identical; vary the program, -b-ranks, or -b-faults")
+		return ExitUsage
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pf := perflow.New()
+
+	collect := func(spec string, ranks int, faults string) (*perflow.Result, error) {
+		plan, err := perflow.ParseFaultPlan(faults)
+		if err != nil {
+			return nil, err
+		}
+		opts := perflow.RunOptions{
+			Ranks: ranks, Threads: *threads, SkipParallelView: true,
+			Parallelism: *par, Faults: plan,
+		}
+		workload, dslPath, err := resolveSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if workload != "" {
+			return pf.RunWorkloadCtx(ctx, workload, opts)
+		}
+		f, err := os.Open(dslPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pf.RunDSLCtx(ctx, f, opts)
+	}
+
+	resA, err := collect(specA, *ranks, *aFaults)
+	if err != nil {
+		fmt.Fprintf(stderr, "pflow diff: a (%s): %v\n", specA, err)
+		return ExitError
+	}
+	ranksB := *ranks
+	if *bRanks > 0 {
+		ranksB = *bRanks
+	}
+	resB, err := collect(specB, ranksB, *bFaults)
+	if err != nil {
+		fmt.Fprintf(stderr, "pflow diff: b (%s): %v\n", specB, err)
+		return ExitError
+	}
+
+	rep := perflow.Diff(resA, resB)
+	rep.A.Label = specA
+	rep.B.Label = specB
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "pflow diff:", err)
+			return ExitError
+		}
+	} else {
+		perflow.WriteDiffReport(stdout, rep)
+	}
+	return ExitOK
+}
+
+// resolveSpec maps a program spec onto a workload name or a DSL path.
+func resolveSpec(spec string) (workload, dslPath string, err error) {
+	switch {
+	case strings.HasPrefix(spec, "workload:"):
+		return strings.TrimPrefix(spec, "workload:"), "", nil
+	case strings.HasPrefix(spec, "dsl:"):
+		return "", strings.TrimPrefix(spec, "dsl:"), nil
+	}
+	for _, n := range perflow.Workloads() {
+		if n == spec {
+			return spec, "", nil
+		}
+	}
+	if _, statErr := os.Stat(spec); statErr == nil {
+		return "", spec, nil
+	}
+	return "", "", fmt.Errorf("%q is neither a built-in workload nor a readable DSL file", spec)
+}

@@ -1,0 +1,155 @@
+package main
+
+// Exit-code contract tests for the gate/diff subcommands, driving runGate
+// and runDiff directly: 0 pass, 1 analysis error, 2 usage, 3 gate failed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perflow"
+)
+
+func writePolicy(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.policy")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGateOut(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := runGate(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestGateExitCodes(t *testing.T) {
+	pass := writePolicy(t, "no degraded\nno_pass failed\n")
+	fail := writePolicy(t, "wait_pct < 0\n")
+	warnOnly := writePolicy(t, "warn: wait_pct < 0\n")
+	unparseable := writePolicy(t, "frobnicate\n")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"pass", []string{"-policy", pass, "-workload", "ep", "-ranks", "2"}, ExitOK},
+		{"gate_failed", []string{"-policy", fail, "-workload", "ep", "-ranks", "2"}, ExitGateFailed},
+		{"warn_only_passes", []string{"-policy", warnOnly, "-workload", "ep", "-ranks", "2"}, ExitOK},
+		{"missing_policy_flag", []string{"-workload", "ep"}, ExitUsage},
+		{"unreadable_policy", []string{"-policy", filepath.Join(t.TempDir(), "nope"), "-workload", "ep"}, ExitUsage},
+		{"unparseable_policy", []string{"-policy", unparseable, "-workload", "ep"}, ExitUsage},
+		{"unknown_workload", []string{"-policy", pass, "-workload", "no-such-app"}, ExitError},
+		{"no_program", []string{"-policy", pass}, ExitError},
+		{"eval_error_scale_fact", []string{"-policy", writePolicy(t, "speedup_at(2x) >= 0.7 * linear\n"), "-workload", "ep", "-ranks", "2"}, ExitError},
+		{"bad_flag", []string{"-policy", pass, "-definitely-not-a-flag"}, ExitUsage},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			code, _, stderr := runGateOut(t, tc.args...)
+			if code != tc.want {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+func TestGateTextAndJSONOutput(t *testing.T) {
+	fail := writePolicy(t, "wait_pct < 0\nwarn: mpi_pct <= 0\n")
+
+	code, out, _ := runGateOut(t, "-policy", fail, "-workload", "ep", "-ranks", "2")
+	if code != ExitGateFailed {
+		t.Fatalf("exit = %d, want %d", code, ExitGateFailed)
+	}
+	if !strings.Contains(out, "GATE error [wait_pct]") || !strings.Contains(out, "gate: FAIL") {
+		t.Errorf("text output missing violation/verdict lines:\n%s", out)
+	}
+
+	code, out, _ = runGateOut(t, "-policy", fail, "-workload", "ep", "-ranks", "2", "-json")
+	if code != ExitGateFailed {
+		t.Fatalf("json exit = %d, want %d", code, ExitGateFailed)
+	}
+	var res gateOutput
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad gate JSON %s: %v", out, err)
+	}
+	if res.OK || len(res.Violations) != 2 {
+		t.Errorf("gate JSON = %+v, want ok=false with 2 violations", res)
+	}
+	if res.Violations[0].Code != "wait_pct" || res.Violations[1].Severity != perflow.PolicySevWarn {
+		t.Errorf("violations = %+v", res.Violations)
+	}
+
+	// A passing gate emits ok with an empty (non-null) violations array.
+	pass := writePolicy(t, "no degraded\n")
+	code, out, _ = runGateOut(t, "-policy", pass, "-workload", "ep", "-ranks", "2", "-json")
+	if code != ExitOK {
+		t.Fatalf("pass exit = %d", code)
+	}
+	if !strings.Contains(out, "\"violations\": []") {
+		t.Errorf("passing gate must emit an empty violations array:\n%s", out)
+	}
+}
+
+func runDiffOut(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := runDiff(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestDiffExitCodesAndOutput(t *testing.T) {
+	halo2d := filepath.Join("..", "..", "examples", "dsl", "halo2d.pfl")
+
+	// Identical specs with no overrides: nothing to compare.
+	if code, _, _ := runDiffOut(t, "ep"); code != ExitUsage {
+		t.Errorf("identical-runs diff exit = %d, want %d", code, ExitUsage)
+	}
+	if code, _, _ := runDiffOut(t); code != ExitUsage {
+		t.Errorf("no-spec diff exit = %d, want %d", code, ExitUsage)
+	}
+	if code, _, stderr := runDiffOut(t, "-ranks", "2", "-b-ranks", "4", "no-such-app"); code != ExitError {
+		t.Errorf("unknown spec exit = %d, want %d (%s)", code, ExitError, stderr)
+	}
+
+	// Scale diff on one DSL program, JSON out.
+	code, out, stderr := runDiffOut(t, "-ranks", "4", "-b-ranks", "8", "-json", halo2d)
+	if code != ExitOK {
+		t.Fatalf("diff exit = %d: %s", code, stderr)
+	}
+	var rep perflow.DiffReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad diff JSON: %v", err)
+	}
+	if rep.RankRatio != 2 || rep.A.Ranks != 4 || rep.B.Ranks != 8 {
+		t.Errorf("diff scales wrong: ratio %g, ranks %d/%d", rep.RankRatio, rep.A.Ranks, rep.B.Ranks)
+	}
+	if rep.A.Label != halo2d || rep.B.Label != halo2d {
+		t.Errorf("labels = %q/%q, want the spec", rep.A.Label, rep.B.Label)
+	}
+
+	// Same invocation at -j 8 is byte-identical (determinism contract).
+	_, out8, _ := runDiffOut(t, "-ranks", "4", "-b-ranks", "8", "-json", "-j", "8", halo2d)
+	if out != out8 {
+		t.Error("diff JSON differs between -j settings")
+	}
+
+	// Fault diff via the b-side override, text output.
+	code, out, stderr = runDiffOut(t, "-ranks", "8", "-b-faults", "seed=7;crash:rank=3,at=200", halo2d)
+	if code != ExitOK {
+		t.Fatalf("fault diff exit = %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "data quality REGRESSED") {
+		t.Errorf("fault diff report missing the regression line:\n%s", out)
+	}
+}

@@ -15,6 +15,9 @@
 //	pflow lint examples/dsl/*.pfl
 //	pflow lint -json -ranks 8 prog.pfl
 //	pflow serve -addr :7077 -workers 8 -queue 128 -cache-mb 64
+//	pflow diff zeusmp zeusmp-opt -ranks 8
+//	pflow diff halo2d.pfl -ranks 4 -b-ranks 8 -json
+//	pflow gate -policy perf.policy -workload zeusmp -ranks 8 -ranks2 16
 package main
 
 import (
@@ -112,6 +115,10 @@ func main() {
 		case "serve":
 			runServe(os.Args[2:])
 			return
+		case "diff":
+			os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
+		case "gate":
+			os.Exit(runGate(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	var (
@@ -128,10 +135,11 @@ func main() {
 		topN   = flag.Int("top", 10, "result count for hotspot-style analyses")
 		faults = flag.String("faults", "",
 			"deterministic fault-injection plan, e.g. \"seed=7;crash:rank=3,at=5000;drop:rank=1,prob=0.5;slow:rank=2,factor=4\"; the analysis degrades gracefully and reports data quality")
-		trace   = flag.Bool("trace", false, "after a paradigm analysis, print its per-pass execution trace")
-		dotOut  = flag.String("dot", "", "write the highlighted result graph in DOT format to this file")
-		savePAG = flag.String("save-pag", "", "after running, persist the top-down PAG to this file for offline analysis")
-		loadPAG = flag.String("load-pag", "", "skip running; analyze a previously saved PAG (profile/hotspot/comm/waitstates only)")
+		skipLint = flag.Bool("skip-lint", false, "skip the static diagnostics gate before simulation")
+		trace    = flag.Bool("trace", false, "after a paradigm analysis, print its per-pass execution trace")
+		dotOut   = flag.String("dot", "", "write the highlighted result graph in DOT format to this file")
+		savePAG  = flag.String("save-pag", "", "after running, persist the top-down PAG to this file for offline analysis")
+		loadPAG  = flag.String("load-pag", "", "skip running; analyze a previously saved PAG (profile/hotspot/comm/waitstates only)")
 	)
 	flag.Parse()
 
@@ -150,63 +158,66 @@ func main() {
 	}
 
 	pf := perflow.New()
-	plan, err := perflow.ParseFaultPlan(*faults)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pflow: -faults:", err)
-		os.Exit(2)
-	}
-	load := func(ctx context.Context, opts perflow.RunOptions) (*perflow.Result, error) {
-		opts.Parallelism = *par
-		opts.Faults = plan
-		if *loadPAG != "" {
-			return perflow.LoadPAGResult(*loadPAG)
-		}
-		switch {
-		case *dslPath != "":
-			f, err := os.Open(*dslPath)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			return pf.RunDSLCtx(ctx, f, opts)
-		case *workload != "":
-			return pf.RunWorkloadCtx(ctx, *workload, opts)
-		default:
-			return nil, fmt.Errorf("pflow: need -workload or -dsl (try -list)")
-		}
-	}
-
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "pflow:", err)
 		os.Exit(1)
 	}
-
-	// The analysis itself runs through the shared perflow.AnalyzeCtx
-	// dispatcher — the same code path the `pflow serve` service uses, so a
-	// served job's report is byte-identical to this CLI invocation.
+	if _, err := perflow.ParseFaultPlan(*faults); err != nil {
+		fmt.Fprintln(os.Stderr, "pflow: -faults:", err)
+		os.Exit(2)
+	}
 	if !perflow.KnownAnalysis(*analysis) {
 		fail(fmt.Errorf("unknown analysis %q (have %v)", *analysis, perflow.Analyses()))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	needsPar := perflow.AnalysisNeedsParallelView(*analysis)
-	var res, large *perflow.Result
-	if perflow.AnalysisNeedsTwoScales(*analysis) {
-		if *ranks2 <= *ranks {
-			fail(fmt.Errorf("%s analysis needs -ranks2 > -ranks", *analysis))
-		}
-		if res, err = load(ctx, perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true}); err != nil {
+
+	// The whole invocation runs through the shared perflow.ExecuteRequest
+	// dispatcher — the same code path `pflow serve` and `pflow gate` use,
+	// so a served job's report is byte-identical to this CLI invocation.
+	var res *perflow.Result
+	var highlight *perflow.Set
+	if *loadPAG != "" {
+		// Offline mode: analyze a previously saved PAG; no collection runs.
+		var err error
+		if res, err = perflow.LoadPAGResult(*loadPAG); err != nil {
 			fail(err)
 		}
-		if large, err = load(ctx, perflow.RunOptions{Ranks: *ranks2, Threads: *threads, SkipParallelView: !needsPar}); err != nil {
+		if highlight, err = pf.AnalyzeCtx(ctx, res, nil, *analysis, *topN, os.Stdout); err != nil {
 			fail(err)
 		}
-	} else if res, err = load(ctx, perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: !needsPar}); err != nil {
-		fail(err)
-	}
-	highlight, err := pf.AnalyzeCtx(ctx, res, large, *analysis, *topN, os.Stdout)
-	if err != nil {
-		fail(err)
+	} else {
+		req := perflow.AnalysisRequest{
+			Workload:    *workload,
+			Analysis:    *analysis,
+			Ranks:       *ranks,
+			Ranks2:      *ranks2,
+			Threads:     *threads,
+			Top:         *topN,
+			Parallelism: *par,
+			SkipLint:    *skipLint,
+			Faults:      *faults,
+		}
+		if *dslPath != "" {
+			src, err := os.ReadFile(*dslPath)
+			if err != nil {
+				fail(err)
+			}
+			req.DSL = string(src)
+		}
+		if req.Workload == "" && req.DSL == "" {
+			fail(fmt.Errorf("need -workload or -dsl (try -list)"))
+		}
+		outcome, err := pf.ExecuteRequest(ctx, req, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		res, highlight = outcome.Result, outcome.Set
+		// -ranks2 with a single-scale analysis collects a second run just
+		// for comparison; print its differential report after the analysis.
+		if outcome.Diff != nil && !perflow.AnalysisNeedsTwoScales(*analysis) {
+			perflow.WriteDiffReport(os.Stdout, outcome.Diff)
+		}
 	}
 
 	if *trace {
@@ -218,10 +229,6 @@ func main() {
 	}
 
 	if *savePAG != "" {
-		res, err := load(ctx, perflow.RunOptions{Ranks: *ranks, Threads: *threads, SkipParallelView: true})
-		if err != nil {
-			fail(err)
-		}
 		if err := perflow.SavePAG(res, *savePAG); err != nil {
 			fail(err)
 		}

@@ -1,0 +1,144 @@
+package perflow
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"perflow/internal/diff"
+	"perflow/internal/policy"
+)
+
+// Differential analysis and policy gating, the public surface behind
+// `pflow diff` and `pflow gate`. Diff condenses two collected runs into a
+// structured report of per-pass metric deltas; a Policy asserts
+// parameterized constraints over the report (or a single run) and yields
+// machine-readable violations suitable for CI gates.
+
+// Re-exported diff/policy types.
+type (
+	// DiffReport is the structured comparison of two runs: per-run
+	// summaries plus hotspot deltas, speedup vs. linear, wait-ratio and
+	// data-quality changes. Render with WriteDiffReport or marshal as JSON.
+	DiffReport = diff.Report
+	// RunSummary is the condensed fact sheet of one collected run.
+	RunSummary = diff.Summary
+	// Policy is a parsed set of performance-policy rules.
+	Policy = policy.Policy
+	// PolicyViolation is one failed rule with its machine-readable code.
+	PolicyViolation = policy.Violation
+	// PolicyEvalError reports a rule that could not be evaluated (unknown
+	// fact, inapplicable template); it is an analysis error, not a
+	// violation.
+	PolicyEvalError = policy.EvalError
+	// FactSource resolves policy fact names; implemented by RunSummary,
+	// DiffReport and GateInput.
+	FactSource = policy.Source
+)
+
+// Policy severities.
+const (
+	PolicySevError = policy.SevError
+	PolicySevWarn  = policy.SevWarn
+)
+
+// Summarize condenses a collected result into its structured fact sheet —
+// the single-run half of differential analysis, and the fact source for
+// single-run policy gates.
+func Summarize(res *Result, label string) *RunSummary { return diff.Summarize(res, label) }
+
+// Diff compares two collected runs of the same program — before/after,
+// N vs. 2N ranks, healthy vs. fault-injected — into a structured report
+// of per-pass metric deltas. a is the baseline, b the candidate.
+func Diff(a, b *Result) *DiffReport { return diff.Compute(a, b) }
+
+// WriteDiffReport renders a diff report as deterministic aligned text.
+func WriteDiffReport(w io.Writer, r *DiffReport) { r.Write(w) }
+
+// ParsePolicy reads a policy document (one rule per line, `#` comments;
+// see internal/policy).
+func ParsePolicy(r io.Reader) (*Policy, error) { return policy.Parse(r) }
+
+// ParsePolicyString parses a policy from a string.
+func ParsePolicyString(s string) (*Policy, error) { return policy.Parse(strings.NewReader(s)) }
+
+// ParsePolicyRules parses a list of single-rule strings (the serve API's
+// `policies` field).
+func ParsePolicyRules(rules []string) (*Policy, error) { return policy.ParseRules(rules) }
+
+// PolicyFailed reports whether any violation is gate-failing (error
+// severity, as opposed to warn-only rules).
+func PolicyFailed(vs []PolicyViolation) bool { return policy.Failed(vs) }
+
+// GateInput bundles every fact source one policy evaluation sees: the
+// candidate run, an optional differential report, and the analysis
+// engine's pass-failure record.
+type GateInput struct {
+	// Result is the candidate run — bare facts (wait_pct, degraded, ...)
+	// resolve against it. With a Diff present this is run B.
+	Result *Result
+	// Diff carries differential facts (speedup, linear, speedup_at(2x),
+	// "a."/"b." prefixes); nil for single-run gates, where those facts
+	// are evaluation errors.
+	Diff *DiffReport
+	// Failures are the pass failures of the analysis run (pf.LastTrace),
+	// backing the `no_pass failed` template.
+	Failures []PassFailure
+
+	// summary caches the Result's fact sheet.
+	summary *RunSummary
+}
+
+// Fact implements FactSource: pass.* facts from the failure record,
+// differential facts from Diff, and everything else from the candidate
+// run's summary.
+func (g *GateInput) Fact(name string, args []string) (float64, error) {
+	switch name {
+	case "pass.failed":
+		return float64(len(g.Failures)), nil
+	case "pass.degraded":
+		// A pass is degraded when it failed outright or consumed partial
+		// input data (data_quality=partial metrics flow through every
+		// downstream pass).
+		n := len(g.Failures)
+		if g.runSummary().Degraded {
+			n++
+		}
+		return float64(n), nil
+	}
+	if g.Diff != nil {
+		if v, err := g.Diff.Fact(name, args); err == nil {
+			return v, nil
+		} else if !isUnknownFact(err) {
+			return 0, err
+		}
+	}
+	return g.runSummary().Fact(name, args)
+}
+
+// isUnknownFact distinguishes "this source does not know the fact" (fall
+// through to the next source) from hard errors such as an inapplicable
+// speedup_at scale (propagate).
+func isUnknownFact(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown")
+}
+
+func (g *GateInput) runSummary() *RunSummary {
+	if g.summary == nil {
+		g.summary = Summarize(g.Result, "")
+	}
+	return g.summary
+}
+
+// EvaluatePolicy asserts a policy against the gate input and returns the
+// violations in rule order. A rule that cannot be evaluated returns a
+// *PolicyEvalError — an analysis error, distinct from a violation.
+func EvaluatePolicy(p *Policy, in *GateInput) ([]PolicyViolation, error) {
+	if in == nil || in.Result == nil {
+		if p == nil || len(p.Rules) == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("perflow: policy evaluation needs a collected result")
+	}
+	return policy.Evaluate(p, in)
+}

@@ -253,19 +253,6 @@ func (g *PerFlowGraph) Run(opts ...RunOption) (*Results, error) {
 	return g.RunCtx(context.Background(), opts...)
 }
 
-// RunMap executes the graph and returns node outputs keyed by pass name.
-//
-// Deprecated: duplicate pass names silently drop outputs (last writer
-// wins). Use Run/RunCtx and the Results accessors (ByNode, ByName)
-// instead; RunMap exists only so pre-Results callers migrate incrementally.
-func (g *PerFlowGraph) RunMap() (map[string][]*Set, error) {
-	res, err := g.Run()
-	if err != nil {
-		return nil, err
-	}
-	return res.Map(), nil
-}
-
 // portKey identifies one output port of one node.
 type portKey struct {
 	node int

@@ -275,10 +275,9 @@ func TestResultsByNameKeepsDuplicates(t *testing.T) {
 	if res.Output(a).Len() != 1 || res.Output(b).Len() != 1 || res.Output(c).Len() != 1 {
 		t.Error("per-node outputs wrong")
 	}
-	// The deprecated map view collapses duplicates (last writer wins) — the
-	// defect Results fixes; RunMap preserves it for migration only.
-	if m, err := g.RunMap(); err != nil || len(m["filter(MPI_*)"]) != 1 {
-		t.Errorf("RunMap shim mismatch: %v, %v", m, err)
+	// ByName on the distinct-name node returns exactly its one output.
+	if solo := res.ByName("filter(compute)"); len(solo) != 1 {
+		t.Errorf("ByName(filter(compute)) = %d outputs, want 1", len(solo))
 	}
 }
 

@@ -158,28 +158,41 @@ func WaitStates(v *Set) *Set {
 	out := NewSet(v.PAG)
 	for _, vid := range v.V {
 		vert := v.PAG.G.Vertex(vid)
-		kind := vert.Attr(pag.AttrKind)
-		if kind != "comm" && vert.Label != pag.VertexCommCall {
+		if !IsCommVertex(vert) {
 			continue
 		}
-		wait := vert.Metric(pag.MetricWait)
-		var class string
-		switch {
-		case wait <= 0:
-			class = "no-wait"
-		case isCollectiveName(vert.Name):
-			class = "wait-at-collective"
-		case vert.Name == "MPI_Send" || vert.Name == "MPI_Isend":
-			class = "late-receiver"
-		default:
-			class = "late-sender"
-		}
-		vert.SetAttr(AttrWaitState, class)
-		if wait > 0 {
+		vert.SetAttr(AttrWaitState, WaitClassOf(vert))
+		if vert.Metric(pag.MetricWait) > 0 {
 			out.V = append(out.V, vid)
 		}
 	}
 	return out.SortBy(pag.MetricWait)
+}
+
+// IsCommVertex reports whether a vertex models a communication call — the
+// subset WaitStates classifies and differential summaries count as MPI
+// time.
+func IsCommVertex(v *graph.Vertex) bool {
+	return v.Attr(pag.AttrKind) == "comm" || v.Label == pag.VertexCommCall
+}
+
+// WaitClassOf is the Scalasca-style wait-state class of a communication
+// vertex: "no-wait", "wait-at-collective", "late-receiver" (blocked
+// sender), or "late-sender" (blocked receiver/wait). Shared by the
+// WaitStates pass and internal/diff's run summaries so both layers agree
+// on the taxonomy.
+func WaitClassOf(v *graph.Vertex) string {
+	wait := v.Metric(pag.MetricWait)
+	switch {
+	case wait <= 0:
+		return "no-wait"
+	case isCollectiveName(v.Name):
+		return "wait-at-collective"
+	case v.Name == "MPI_Send" || v.Name == "MPI_Isend":
+		return "late-receiver"
+	default:
+		return "late-sender"
+	}
 }
 
 func isCollectiveName(name string) bool {

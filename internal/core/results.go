@@ -83,15 +83,3 @@ func (r *Results) Failures() []PassFailure {
 
 // Trace returns the run's per-pass instrumentation record.
 func (r *Results) Trace() *ExecutionTrace { return r.trace }
-
-// Map flattens the results to the legacy name-keyed form.
-//
-// Deprecated: when two passes share a name the later node wins and the
-// earlier outputs are dropped. Use ByNode or ByName.
-func (r *Results) Map() map[string][]*Set {
-	m := make(map[string][]*Set, len(r.nodes))
-	for _, n := range r.nodes {
-		m[n.Name()] = r.byNode[n]
-	}
-	return m
-}

@@ -85,6 +85,11 @@ func (s *Set) FilterLabel(label int) *Set {
 	return s.Filter(func(v *graph.Vertex) bool { return v.Label == label })
 }
 
+// GlobMatch matches pattern against name with the set layer's glob rules;
+// exported so differential summaries and policy facts (hotspot_share)
+// match exactly like Set.FilterName.
+func GlobMatch(pattern, name string) bool { return globMatch(pattern, name) }
+
 // globMatch matches pattern against name; '*' matches any suffix/infix run.
 func globMatch(pattern, name string) bool {
 	// Simple backtracking glob supporting '*' anywhere.

@@ -1,0 +1,162 @@
+package diff
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	a := &Summary{Label: "a", Ranks: 4, RuntimeUS: 1000, AppTimeUS: 3600,
+		MPIPct: 30, WaitPct: 12, LateSenderPct: 8, CollectiveWaitPct: 4,
+		ImbalanceMax: 1.2,
+		Hotspots: []Hotspot{
+			{Name: "MPI_Allreduce", Site: "a.c:10", ExclTime: 600, AppPct: 16.67},
+			{Name: "compute", Site: "a.c:20", ExclTime: 500, AppPct: 13.89},
+		}}
+	b := &Summary{Label: "b", Ranks: 8, RuntimeUS: 625, AppTimeUS: 7200,
+		MPIPct: 40, WaitPct: 20, LateSenderPct: 14, CollectiveWaitPct: 6,
+		ImbalanceMax: 1.5, CrashedRanks: 1, Degraded: true}
+	at := map[string]hotspotEntry{
+		"MPI_Allreduce @ a.c:10": {name: "MPI_Allreduce", site: "a.c:10", excl: 600},
+		"compute @ a.c:20":       {name: "compute", site: "a.c:20", excl: 500},
+		"gone @ a.c:30":          {name: "gone", site: "a.c:30", excl: 50},
+	}
+	bt := map[string]hotspotEntry{
+		"MPI_Allreduce @ a.c:10": {name: "MPI_Allreduce", site: "a.c:10", excl: 1500},
+		"compute @ a.c:20":       {name: "compute", site: "a.c:20", excl: 900},
+		"new @ a.c:40":           {name: "new", site: "a.c:40", excl: 80},
+	}
+	return FromSummaries(a, b, at, bt)
+}
+
+func TestFromSummaries(t *testing.T) {
+	r := sampleReport()
+	if r.RankRatio != 2 {
+		t.Errorf("RankRatio = %g, want 2", r.RankRatio)
+	}
+	if r.Speedup != 1.6 { // 1000/625
+		t.Errorf("Speedup = %g, want 1.6", r.Speedup)
+	}
+	if r.Efficiency != 0.8 {
+		t.Errorf("Efficiency = %g, want 0.8", r.Efficiency)
+	}
+	if r.RuntimeDeltaPct != -37.5 {
+		t.Errorf("RuntimeDeltaPct = %g, want -37.5", r.RuntimeDeltaPct)
+	}
+	if r.WaitDeltaPct != 8 || r.LateSenderDeltaPct != 6 || r.MPIDeltaPct != 10 {
+		t.Errorf("deltas = %g/%g/%g", r.WaitDeltaPct, r.LateSenderDeltaPct, r.MPIDeltaPct)
+	}
+	if !r.DataQualityRegressed {
+		t.Error("crashed rank in B only must flag a data-quality regression")
+	}
+
+	// Hotspot deltas ordered by |delta| descending; appeared/vanished set.
+	if len(r.Hotspots) != 4 {
+		t.Fatalf("got %d hotspot deltas, want 4", len(r.Hotspots))
+	}
+	if r.Hotspots[0].Name != "MPI_Allreduce" || r.Hotspots[0].DeltaUS != 900 {
+		t.Errorf("top delta = %+v", r.Hotspots[0])
+	}
+	if r.Hotspots[1].Name != "compute" || r.Hotspots[1].DeltaPct != 80 {
+		t.Errorf("second delta = %+v", r.Hotspots[1])
+	}
+	var appeared, vanished bool
+	for _, d := range r.Hotspots {
+		if d.Name == "new" && d.Appeared && d.DeltaPct == 100 {
+			appeared = true
+		}
+		if d.Name == "gone" && d.Vanished && d.DeltaPct == -100 {
+			vanished = true
+		}
+	}
+	if !appeared || !vanished {
+		t.Errorf("appeared/vanished flags wrong: %+v", r.Hotspots)
+	}
+}
+
+func TestReportFacts(t *testing.T) {
+	r := sampleReport()
+	cases := map[string]float64{
+		"speedup":                1.6,
+		"efficiency":             0.8,
+		"linear":                 2,
+		"rank_ratio":             2,
+		"runtime_delta_pct":      -37.5,
+		"wait_delta_pct":         8,
+		"late_sender_delta_pct":  6,
+		"mpi_delta_pct":          10,
+		"imbalance_delta":        0.3,
+		"data_quality_regressed": 1,
+		"a.ranks":                4,
+		"b.ranks":                8,
+		"b.degraded":             1,
+		"a.late_sender_wait_pct": 8,
+	}
+	for name, want := range cases {
+		got, err := r.Fact(name, nil)
+		if err != nil {
+			t.Errorf("Fact(%s): %v", name, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Fact(%s) = %g, want %g", name, got, want)
+		}
+	}
+	if g := r.MaxHotspotGrowthPct(); g != 150 {
+		t.Errorf("MaxHotspotGrowthPct = %g, want 150 (MPI_Allreduce 600→1500)", g)
+	}
+
+	// speedup_at(2x) matches the rank ratio; speedup_at(4x) is a hard error.
+	if v, err := r.Fact("speedup_at", []string{"2x"}); err != nil || v != 1.6 {
+		t.Errorf("speedup_at(2x) = %g, %v", v, err)
+	}
+	if _, err := r.Fact("speedup_at", []string{"4x"}); err == nil || strings.Contains(err.Error(), "unknown") {
+		t.Errorf("speedup_at(4x) must be a hard (non-unknown) error, got %v", err)
+	}
+	if _, err := r.Fact("nonsense", nil); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown fact error must contain \"unknown\", got %v", err)
+	}
+}
+
+func TestSummaryHotspotShare(t *testing.T) {
+	r := sampleReport()
+	share, err := r.A.Fact("hotspot_share", []string{"MPI_*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share != 16.67 {
+		t.Errorf("hotspot_share(MPI_*) = %g, want 16.67", share)
+	}
+	if _, err := r.A.Fact("hotspot_share", nil); err == nil {
+		t.Error("hotspot_share without a pattern must error")
+	}
+}
+
+func TestParseScaleArg(t *testing.T) {
+	for arg, want := range map[string]float64{"2x": 2, "2": 2, "1.5x": 1.5, "4X": 4} {
+		got, err := parseScaleArg(arg)
+		if err != nil || got != want {
+			t.Errorf("parseScaleArg(%q) = %g, %v; want %g", arg, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-2x", "0x", "twox"} {
+		if _, err := parseScaleArg(bad); err == nil {
+			t.Errorf("parseScaleArg(%q) accepted", bad)
+		}
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	// Perfectly balanced: max == mean.
+	if r := imbalanceRatio([]float64{5, 5, 5, 5}, 4); r != 1 {
+		t.Errorf("balanced ratio = %g, want 1", r)
+	}
+	// Observed on 2 of 8 ranks: mean over 8 is 1.25, max 5 → ratio 4.
+	if r := imbalanceRatio([]float64{5, 5}, 8); r != 4 {
+		t.Errorf("sparse ratio = %g, want 4", r)
+	}
+	if r := imbalanceRatio(nil, 8); r != 0 {
+		t.Errorf("empty ratio = %g, want 0", r)
+	}
+}

@@ -1,0 +1,86 @@
+package diff
+
+import (
+	"fmt"
+	"io"
+)
+
+// Write renders the report as the aligned text form `pflow diff` prints.
+// Output is deterministic: every number is pre-rounded and every section
+// is sorted, so golden snapshots are byte-stable across runs, machines,
+// and -j settings.
+func (r *Report) Write(w io.Writer) {
+	a, b := r.A, r.B
+	fmt.Fprintf(w, "== differential report: %s vs %s ==\n", labelOr(a, "a"), labelOr(b, "b"))
+	fmt.Fprintf(w, "%-22s %14s %14s\n", "", "a", "b")
+	row := func(name string, av, bv float64, unit string) {
+		fmt.Fprintf(w, "%-22s %14s %14s\n", name, fmtNum(av)+unit, fmtNum(bv)+unit)
+	}
+	row("ranks", float64(a.Ranks), float64(b.Ranks), "")
+	row("runtime", a.RuntimeUS, b.RuntimeUS, "us")
+	row("app time", a.AppTimeUS, b.AppTimeUS, "us")
+	row("mpi share", a.MPIPct, b.MPIPct, "%")
+	row("wait share", a.WaitPct, b.WaitPct, "%")
+	row("late-sender wait", a.LateSenderPct, b.LateSenderPct, "%")
+	row("late-receiver wait", a.LateReceiverPct, b.LateReceiverPct, "%")
+	row("collective wait", a.CollectiveWaitPct, b.CollectiveWaitPct, "%")
+	row("imbalance max", a.ImbalanceMax, b.ImbalanceMax, "")
+
+	fmt.Fprintf(w, "speedup %s at %sx ranks (efficiency %s, runtime %+.2f%%)\n",
+		fmtNum(r.Speedup), fmtNum(r.RankRatio), fmtNum(r.Efficiency), r.RuntimeDeltaPct)
+
+	if len(r.Hotspots) > 0 {
+		fmt.Fprintln(w, "-- hotspot deltas (|delta| desc) --")
+		for _, d := range r.Hotspots {
+			tag := ""
+			switch {
+			case d.Appeared:
+				tag = " [appeared]"
+			case d.Vanished:
+				tag = " [vanished]"
+			}
+			site := ""
+			if d.Site != "" {
+				site = " @ " + d.Site
+			}
+			fmt.Fprintf(w, "%-30s %12sus -> %12sus  %+10.2fus (%+.2f%%)%s\n",
+				d.Name+site, fmtNum(d.AUS), fmtNum(d.BUS), d.DeltaUS, d.DeltaPct, tag)
+		}
+	}
+
+	if a.Degraded || b.Degraded {
+		fmt.Fprintln(w, "-- data quality --")
+		dq := func(s *Summary, which string) {
+			if !s.Degraded {
+				fmt.Fprintf(w, "%s: complete\n", which)
+				return
+			}
+			fmt.Fprintf(w, "%s: %s%% ranks complete (crashed %d, stalled %d, salvaged %d, dropped msgs %d, lost events %d)\n",
+				which, fmtNum(s.CompleteRankPct), s.CrashedRanks, s.StalledRanks, s.SalvagedRanks, s.DroppedMsgs, s.LostEvents)
+		}
+		dq(a, "a")
+		dq(b, "b")
+		if r.DataQualityRegressed {
+			fmt.Fprintln(w, "data quality REGRESSED: b lost data a did not")
+		}
+	}
+}
+
+func labelOr(s *Summary, def string) string {
+	if s != nil && s.Label != "" {
+		return s.Label
+	}
+	return def
+}
+
+// fmtNum prints a pre-rounded value without trailing zeros ("1.5", "12").
+func fmtNum(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

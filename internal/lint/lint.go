@@ -56,6 +56,26 @@ func (s Severity) String() string {
 // MarshalJSON encodes the severity as its string name.
 func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
+// UnmarshalJSON decodes the string name back into a severity, so
+// diagnostics embedded in API payloads round-trip.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	case "info":
+		*s = SevInfo
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
 // Position is a file:line source location from the IR's debug info.
 type Position struct {
 	File string `json:"file"`

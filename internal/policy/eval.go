@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source resolves fact names to values. Boolean facts return 0 or 1.
+// Implementations: diff.Summary (single-run facts), diff.Report
+// (differential facts + "a."/"b." prefixes), and perflow's outcome source
+// (pass-failure facts).
+type Source interface {
+	Fact(name string, args []string) (float64, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(name string, args []string) (float64, error)
+
+// Fact implements Source.
+func (f SourceFunc) Fact(name string, args []string) (float64, error) { return f(name, args) }
+
+// Violation is one failed rule, machine-readable for CI consumption.
+type Violation struct {
+	// Code is the violated template's fact name (e.g.
+	// "late_sender_wait_pct", "degraded", "speedup_at").
+	Code string `json:"code"`
+	// Rule is the canonical rule text.
+	Rule string `json:"rule"`
+	// Severity is "error" (fails the gate) or "warn".
+	Severity Severity `json:"severity"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+	// Actual and Limit are the evaluated sides of the comparison (for
+	// "no"/"no_pass" rules Limit is 0).
+	Actual float64 `json:"actual"`
+	Limit  float64 `json:"limit"`
+	// Line is the rule's policy-file line, when known.
+	Line int `json:"line,omitempty"`
+}
+
+// EvalError reports a rule that could not be evaluated — an unknown fact
+// or an inapplicable template (e.g. speedup_at(2x) on a single-run gate).
+// It is an error, not a violation: the gate exits with the analysis-error
+// code, never silently passes.
+type EvalError struct {
+	Rule string
+	Err  error
+}
+
+// Error implements error.
+func (e *EvalError) Error() string { return fmt.Sprintf("policy rule %q: %v", e.Rule, e.Err) }
+
+// Unwrap exposes the cause.
+func (e *EvalError) Unwrap() error { return e.Err }
+
+// Evaluate asserts every rule against the fact source and returns the
+// violations in rule order. The first unevaluable rule aborts with an
+// *EvalError. An empty or nil policy yields no violations.
+func Evaluate(p *Policy, src Source) ([]Violation, error) {
+	if p == nil {
+		return nil, nil
+	}
+	var out []Violation
+	for _, r := range p.Rules {
+		v, violated, err := evalRule(r, src)
+		if err != nil {
+			return nil, &EvalError{Rule: r.Canonical(), Err: err}
+		}
+		if violated {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Failed reports whether any violation is gate-failing (error severity).
+func Failed(vs []Violation) bool {
+	for _, v := range vs {
+		if v.Severity != SevWarn {
+			return true
+		}
+	}
+	return false
+}
+
+func evalRule(r Rule, src Source) (Violation, bool, error) {
+	switch r.Kind {
+	case "no", "no_pass":
+		// no_pass states are namespaced so a Source can distinguish
+		// pass-level facts from run-level ones.
+		name := r.LHS.Fact
+		if r.Kind == "no_pass" {
+			name = "pass." + name
+		}
+		actual, err := src.Fact(name, r.LHS.Args)
+		if err != nil {
+			return Violation{}, false, err
+		}
+		if actual != 0 {
+			return Violation{
+				Code:     r.Code(),
+				Rule:     r.Canonical(),
+				Severity: r.Severity,
+				Message:  fmt.Sprintf("%s: want none, have %s", r.Canonical(), trimFloat(actual)),
+				Actual:   actual,
+				Line:     r.Line,
+			}, true, nil
+		}
+		return Violation{}, false, nil
+	default:
+		lhs, err := r.LHS.eval(src)
+		if err != nil {
+			return Violation{}, false, err
+		}
+		rhs, err := r.RHS.eval(src)
+		if err != nil {
+			return Violation{}, false, err
+		}
+		if compare(r.Op, lhs, rhs) {
+			return Violation{}, false, nil
+		}
+		return Violation{
+			Code:     r.Code(),
+			Rule:     r.Canonical(),
+			Severity: r.Severity,
+			Message: fmt.Sprintf("%s: have %s, want %s %s", r.Canonical(),
+				trimFloat(round2(lhs)), r.Op, trimFloat(round2(rhs))),
+			Actual: round2(lhs),
+			Limit:  round2(rhs),
+			Line:   r.Line,
+		}, true, nil
+	}
+}
+
+func compare(op Op, a, b float64) bool {
+	switch op {
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	}
+	return false
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }

@@ -1,0 +1,320 @@
+// Package policy implements PerFlow's declarative performance-policy
+// language: a small library of parameterized constraint templates (after
+// the gatekeeper constraint-template pattern) asserted over the facts of
+// an analysis run or a differential report, turning prose reports into
+// CI-gate decisions.
+//
+// A policy is a line-oriented text document:
+//
+//	# perf gate for the halo2d kernel
+//	late_sender_wait_pct < 15
+//	no_pass degraded
+//	no degraded
+//	speedup_at(2x) >= 0.8 * linear
+//	warn: mpi_pct <= 40
+//
+// Each non-comment line is one rule. A rule is either a comparison
+// between two expressions — numbers, facts such as `wait_pct` or
+// parameterized facts such as `hotspot_share(MPI_*)`, optionally scaled
+// (`0.8 * linear`) — or one of two negation templates: `no <fact>`
+// (the fact must be zero/false) and `no_pass <state>` (no analysis pass
+// may be in the given state: degraded or failed). A `warn:` prefix
+// downgrades a rule: its violations are reported but do not fail the
+// gate.
+//
+// Facts are resolved through the Source interface; internal/diff supplies
+// run summaries and differential reports, and perflow wires in
+// outcome-level facts (pass failures). Evaluation is total and
+// deterministic: every rule yields pass, violation, or an evaluation
+// error (unknown fact, inapplicable template), and violations carry
+// machine-readable codes so CI systems can route them.
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Severity grades a rule's violations.
+type Severity string
+
+// Severities.
+const (
+	SevError Severity = "error" // fails the gate
+	SevWarn  Severity = "warn"  // reported, does not fail the gate
+)
+
+// Op is a comparison operator.
+type Op string
+
+// Comparison operators, in the order the parser tries them (longest
+// first, so "<=" wins over "<").
+var ops = []Op{"<=", ">=", "==", "!=", "<", ">"}
+
+// Expr is one side of a comparison: Coeff * Fact(Args...), or a plain
+// constant when Fact is empty.
+type Expr struct {
+	Coeff float64  `json:"coeff"`
+	Fact  string   `json:"fact,omitempty"`
+	Args  []string `json:"args,omitempty"`
+	Const float64  `json:"const"`
+}
+
+// String renders the expression in canonical form.
+func (e Expr) String() string {
+	if e.Fact == "" {
+		return trimFloat(e.Const)
+	}
+	f := e.Fact
+	if len(e.Args) > 0 {
+		f += "(" + strings.Join(e.Args, ",") + ")"
+	}
+	if e.Coeff != 1 {
+		return trimFloat(e.Coeff) + "*" + f
+	}
+	return f
+}
+
+// eval resolves the expression against a fact source.
+func (e Expr) eval(src Source) (float64, error) {
+	if e.Fact == "" {
+		return e.Const, nil
+	}
+	v, err := src.Fact(e.Fact, e.Args)
+	if err != nil {
+		return 0, err
+	}
+	return e.Coeff * v, nil
+}
+
+// Rule is one parsed constraint.
+type Rule struct {
+	// Kind is "compare", "no", or "no_pass".
+	Kind string `json:"kind"`
+	// LHS/Op/RHS describe a comparison rule; for "no"/"no_pass" rules LHS
+	// holds the negated fact and Op/RHS are empty.
+	LHS Expr `json:"lhs"`
+	Op  Op   `json:"op,omitempty"`
+	RHS Expr `json:"rhs,omitempty"`
+	// Severity is SevError unless the rule carries a "warn:" prefix.
+	Severity Severity `json:"severity"`
+	// Line is the 1-based source line, for error reporting.
+	Line int `json:"line,omitempty"`
+}
+
+// Canonical renders the rule in its normalized source form — whitespace
+// and float formatting collapsed — used both for display and for cache-key
+// canonicalization (two formattings of the same policy hash identically).
+func (r Rule) Canonical() string {
+	var s string
+	switch r.Kind {
+	case "no":
+		s = "no " + r.LHS.String()
+	case "no_pass":
+		s = "no_pass " + r.LHS.Fact
+	default:
+		s = fmt.Sprintf("%s %s %s", r.LHS.String(), r.Op, r.RHS.String())
+	}
+	if r.Severity == SevWarn {
+		s = "warn: " + s
+	}
+	return s
+}
+
+// Code is the rule's machine-readable violation code: the negated or
+// left-hand fact name, or "const" for degenerate constant comparisons.
+func (r Rule) Code() string {
+	if r.LHS.Fact != "" {
+		return r.LHS.Fact
+	}
+	if r.RHS.Fact != "" {
+		return r.RHS.Fact
+	}
+	return "const"
+}
+
+// Policy is an ordered set of rules.
+type Policy struct {
+	Rules []Rule `json:"rules"`
+}
+
+// Canonical renders the whole policy in normalized, sorted form: rule
+// order never affects evaluation, so sorting makes reordered policy files
+// share a cache key.
+func (p *Policy) Canonical() string {
+	if p == nil || len(p.Rules) == 0 {
+		return ""
+	}
+	lines := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		lines[i] = r.Canonical()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Parse reads a policy document.
+func Parse(r io.Reader) (*Policy, error) {
+	p := &Policy{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		rule, ok, err := parseRule(sc.Text(), line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			p.Rules = append(p.Rules, rule)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseRules parses a list of single-rule strings (the serve API's
+// `policies` field). Multi-line entries are accepted too.
+func ParseRules(rules []string) (*Policy, error) {
+	p := &Policy{}
+	for i, s := range rules {
+		sub, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return nil, fmt.Errorf("policy %d: %v", i+1, err)
+		}
+		p.Rules = append(p.Rules, sub.Rules...)
+	}
+	return p, nil
+}
+
+// parseRule parses one line; ok is false for blanks and comments.
+func parseRule(text string, line int) (Rule, bool, error) {
+	s := strings.TrimSpace(text)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return Rule{}, false, nil
+	}
+	rule := Rule{Severity: SevError, Line: line}
+	if rest, found := strings.CutPrefix(s, "warn:"); found {
+		rule.Severity = SevWarn
+		s = strings.TrimSpace(rest)
+	}
+
+	fields := strings.Fields(s)
+	switch {
+	case len(fields) == 2 && fields[0] == "no":
+		fact, args, err := parseFact(fields[1], line)
+		if err != nil {
+			return Rule{}, false, err
+		}
+		rule.Kind = "no"
+		rule.LHS = Expr{Coeff: 1, Fact: fact, Args: args}
+		return rule, true, nil
+	case len(fields) == 2 && fields[0] == "no_pass":
+		switch fields[1] {
+		case "degraded", "failed":
+		default:
+			return Rule{}, false, fmt.Errorf("policy line %d: no_pass wants \"degraded\" or \"failed\", got %q", line, fields[1])
+		}
+		rule.Kind = "no_pass"
+		rule.LHS = Expr{Coeff: 1, Fact: fields[1]}
+		return rule, true, nil
+	}
+
+	// Comparison: split on the first operator occurrence.
+	for _, op := range ops {
+		i := strings.Index(s, string(op))
+		if i < 0 {
+			continue
+		}
+		lhs, err := parseExpr(s[:i], line)
+		if err != nil {
+			return Rule{}, false, err
+		}
+		rhs, err := parseExpr(s[i+len(op):], line)
+		if err != nil {
+			return Rule{}, false, err
+		}
+		rule.Kind = "compare"
+		rule.LHS, rule.Op, rule.RHS = lhs, op, rhs
+		return rule, true, nil
+	}
+	return Rule{}, false, fmt.Errorf("policy line %d: cannot parse rule %q (want \"fact OP value\", \"no fact\", or \"no_pass state\")", line, s)
+}
+
+// parseExpr parses `[number *] fact[(args)]` or a bare number.
+func parseExpr(s string, line int) (Expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Expr{}, fmt.Errorf("policy line %d: empty expression", line)
+	}
+	coeff := 1.0
+	if i := strings.Index(s, "*"); i >= 0 {
+		c, err := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64)
+		if err != nil {
+			return Expr{}, fmt.Errorf("policy line %d: bad coefficient %q", line, strings.TrimSpace(s[:i]))
+		}
+		coeff = c
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return Expr{Coeff: 1, Const: coeff * v}, nil
+	}
+	fact, args, err := parseFact(s, line)
+	if err != nil {
+		return Expr{}, err
+	}
+	return Expr{Coeff: coeff, Fact: fact, Args: args}, nil
+}
+
+// parseFact parses `name` or `name(arg1,arg2)`.
+func parseFact(s string, line int) (string, []string, error) {
+	i := strings.Index(s, "(")
+	if i < 0 {
+		if !validIdent(s) {
+			return "", nil, fmt.Errorf("policy line %d: bad fact name %q", line, s)
+		}
+		return s, nil, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("policy line %d: unclosed argument list in %q", line, s)
+	}
+	name := s[:i]
+	if !validIdent(name) {
+		return "", nil, fmt.Errorf("policy line %d: bad fact name %q", line, name)
+	}
+	var args []string
+	for _, a := range strings.Split(s[i+1:len(s)-1], ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			args = append(args, a)
+		}
+	}
+	return name, args, nil
+}
+
+// validIdent accepts fact names: letters, digits, '_' and '.' (the diff
+// source's "a."/"b." prefixes), starting with a letter.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '_':
+		case i > 0 && (c >= '0' && c <= '9' || c == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// trimFloat formats a float without trailing zeros.
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'f', -1, 64)
+}

@@ -1,0 +1,174 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `
+# perf gate
+late_sender_wait_pct < 15
+no_pass degraded
+no degraded
+speedup_at(2x) >= 0.8 * linear
+warn: mpi_pct <= 40
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(p.Rules))
+	}
+	wantKinds := []string{"compare", "no_pass", "no", "compare", "compare"}
+	for i, r := range p.Rules {
+		if r.Kind != wantKinds[i] {
+			t.Errorf("rule %d kind = %q, want %q", i, r.Kind, wantKinds[i])
+		}
+	}
+	if sev := p.Rules[4].Severity; sev != SevWarn {
+		t.Errorf("warn: rule severity = %q", sev)
+	}
+	if c := p.Rules[3].Canonical(); c != "speedup_at(2x) >= 0.8*linear" {
+		t.Errorf("canonical scaled rule = %q", c)
+	}
+	if code := p.Rules[3].Code(); code != "speedup_at" {
+		t.Errorf("rule code = %q, want speedup_at", code)
+	}
+}
+
+// TestCanonicalStableUnderReordering pins the cache-key property: rule
+// order and formatting never change the canonical form.
+func TestCanonicalStableUnderReordering(t *testing.T) {
+	a, err := Parse(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(strings.NewReader(
+		"warn:   mpi_pct<=40\nno degraded\nspeedup_at( 2x )>=0.80*linear\nno_pass degraded\nlate_sender_wait_pct<15.0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("canonical forms differ:\n%q\n%q", a.Canonical(), b.Canonical())
+	}
+	c, err := Parse(strings.NewReader("late_sender_wait_pct < 16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() == c.Canonical() {
+		t.Error("different policies share a canonical form")
+	}
+	var nilPolicy *Policy
+	if nilPolicy.Canonical() != "" {
+		t.Error("nil policy canonical form must be empty")
+	}
+}
+
+func TestParseRulesJoinsEntries(t *testing.T) {
+	p, err := ParseRules([]string{"wait_pct < 30", "no degraded\nwarn: mpi_pct <= 50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(p.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"frobnicate",                  // no operator
+		"no_pass exploded",            // bad state
+		"no 7up",                      // bad fact name
+		"wait_pct < ",                 // empty rhs
+		"x * wait_pct < 3",            // bad coefficient
+		"speedup_at(2x >= 0.8*linear", // unclosed args
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed rule", src)
+		}
+	}
+}
+
+func testSource(facts map[string]float64) Source {
+	return SourceFunc(func(name string, args []string) (float64, error) {
+		if v, ok := facts[name]; ok {
+			return v, nil
+		}
+		return 0, errors.New("unknown fact " + name)
+	})
+}
+
+func TestEvaluate(t *testing.T) {
+	p, err := Parse(strings.NewReader(
+		"late_sender_wait_pct < 15\nno degraded\nno_pass failed\nwarn: mpi_pct <= 40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(map[string]float64{
+		"late_sender_wait_pct": 22.5,
+		"degraded":             0,
+		"pass.failed":          0,
+		"mpi_pct":              55,
+	})
+	vs, err := Evaluate(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(vs), vs)
+	}
+	if vs[0].Code != "late_sender_wait_pct" || vs[0].Severity != SevError {
+		t.Errorf("violation 0 = %+v", vs[0])
+	}
+	if vs[0].Actual != 22.5 || vs[0].Limit != 15 {
+		t.Errorf("violation 0 actual/limit = %g/%g", vs[0].Actual, vs[0].Limit)
+	}
+	if vs[1].Code != "mpi_pct" || vs[1].Severity != SevWarn {
+		t.Errorf("violation 1 = %+v", vs[1])
+	}
+	if !Failed(vs) {
+		t.Error("error-severity violation must fail the gate")
+	}
+	if Failed(vs[1:]) {
+		t.Error("warn-only violations must not fail the gate")
+	}
+}
+
+func TestEvaluateCoefficientAndNoPass(t *testing.T) {
+	p, err := Parse(strings.NewReader("speedup_at(2x) >= 0.8 * linear\nno_pass degraded\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// speedup 1.5 at 2x ranks: 1.5 < 0.8*2 = 1.6 → violation; one degraded
+	// pass → violation.
+	src := testSource(map[string]float64{"speedup_at": 1.5, "linear": 2, "pass.degraded": 1})
+	vs, err := Evaluate(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(vs), vs)
+	}
+	if vs[0].Limit != 1.6 {
+		t.Errorf("scaled limit = %g, want 1.6", vs[0].Limit)
+	}
+	if vs[1].Code != "degraded" {
+		t.Errorf("no_pass code = %q, want degraded", vs[1].Code)
+	}
+}
+
+func TestEvaluateUnknownFactIsEvalError(t *testing.T) {
+	p, err := Parse(strings.NewReader("no_such_fact < 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Evaluate(p, testSource(nil))
+	var ee *EvalError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *EvalError, got %v", err)
+	}
+}

@@ -25,10 +25,10 @@ func TestFaultJobDegradedReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := SubmitRequest{
+	req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{
 		DSL: string(src), Analysis: "hotspot", Ranks: 8,
 		Faults: "seed=7;crash:rank=3,at=200",
-	}
+	}}
 	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
@@ -87,7 +87,7 @@ func TestFaultSpecValidation422(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
 	for _, spec := range []string{"crash:rank=x", "bogus:rank=1", "crash:rank=1", "seed=1;;drop:prob=0.5"} {
 		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-			SubmitRequest{Workload: "cg", Analysis: "profile", Ranks: 4, Faults: spec})
+			SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "profile", Ranks: 4, Faults: spec}})
 		if resp.StatusCode != http.StatusUnprocessableEntity {
 			t.Errorf("faults=%q: want 422, got %d: %s", spec, resp.StatusCode, data)
 		}
@@ -116,7 +116,7 @@ func TestPanickingAnalysisFailsJobNotServer(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
 
 	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-		SubmitRequest{Workload: "ep", Analysis: "panic-e2e", Ranks: 2})
+		SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "ep", Analysis: "panic-e2e", Ranks: 2}})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit panicking job: %d: %s", resp.StatusCode, data)
 	}
@@ -134,7 +134,7 @@ func TestPanickingAnalysisFailsJobNotServer(t *testing.T) {
 		t.Fatalf("healthz after panic: want 200, got %d", resp.StatusCode)
 	}
 	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-		SubmitRequest{Workload: "ep", Analysis: "profile", Ranks: 2})
+		SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "ep", Analysis: "profile", Ranks: 2}})
 	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 		t.Fatalf("submit after panic: %d: %s", resp.StatusCode, data)
 	}
@@ -154,10 +154,10 @@ func TestDrainWaitsForFaultJobMidRun(t *testing.T) {
 	// A slow-rank fault keeps the data-quality machinery engaged for the
 	// whole (long) run without truncating it, so the job is reliably still
 	// mid-run when Drain starts.
-	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{
 		DSL: slowDSL(20000), Analysis: "profile", Ranks: 48,
 		Faults: "seed=3;slow:rank=5,factor=4",
-	})
+	}})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
 	}

@@ -37,8 +37,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, resp errorResponse) {
-	writeJSON(w, status, resp)
+// writeError emits the unified /v1 error envelope: {code, message,
+// details[]}. Every non-2xx response goes through here so clients parse
+// one shape and branch on machine codes.
+func writeError(w http.ResponseWriter, status int, code, message string, details ...errorDetail) {
+	writeJSON(w, status, apiError{Code: code, Message: message, Details: details})
 }
 
 // view renders a job (plus its result when done) under the server lock.
@@ -80,7 +83,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	req = req.withDefaults()
@@ -116,7 +119,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	req, diags, err := s.validate(req)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Diagnostics: diags})
+		if len(diags) > 0 {
+			writeError(w, http.StatusUnprocessableEntity, ErrCodeLintRejected, err.Error(), lintDetails(diags)...)
+		} else {
+			writeError(w, http.StatusUnprocessableEntity, ErrCodeInvalidRequest, err.Error())
+		}
 		return
 	}
 
@@ -128,11 +135,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Backpressure: tell the client when a slot is plausibly free
 		// instead of accepting unbounded work.
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, errorResponse{Error: "job queue full"})
+		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "job queue full")
 	case errDraining:
-		writeError(w, http.StatusServiceUnavailable, errorResponse{Error: "server draining"})
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "server draining")
 	default:
-		writeError(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
 	}
 }
 
@@ -164,7 +171,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.view(j, true))
@@ -173,11 +180,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, found, cancelable := s.cancelJob(r.PathValue("id"))
 	if !found {
-		writeError(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job")
 		return
 	}
 	if !cancelable {
-		writeError(w, http.StatusConflict, errorResponse{Error: "job already finished"})
+		writeError(w, http.StatusConflict, ErrCodeAlreadyFinished, "job already finished")
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.view(j, false))

@@ -2,121 +2,39 @@ package serve
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
-	"fmt"
-	"io"
-	"strings"
 	"time"
 
+	"perflow"
 	"perflow/internal/core"
 	"perflow/internal/lint"
-	"perflow/internal/mpisim"
 )
 
-// SubmitRequest is the body of POST /v1/jobs: one program (a named built-in
-// workload or an inline DSL source) plus the run options of the equivalent
-// CLI invocation.
+// SubmitRequest is the body of POST /v1/jobs: the canonical
+// perflow.AnalysisRequest (the exact options surface of the CLI, gate and
+// diff front ends — program, scales, faults, policies) plus serve-only
+// delivery options.
 type SubmitRequest struct {
-	// Workload names a built-in workload model; mutually exclusive with DSL.
-	Workload string `json:"workload,omitempty"`
-	// DSL is an inline program in the PerFlow DSL.
-	DSL string `json:"dsl,omitempty"`
-	// Analysis selects the analysis to run (default "profile").
-	Analysis string `json:"analysis,omitempty"`
-	// Ranks is the MPI process count (default 8, like cmd/pflow).
-	Ranks int `json:"ranks,omitempty"`
-	// Ranks2 is the second (large) rank count for scalability analysis.
-	Ranks2 int `json:"ranks2,omitempty"`
-	// Threads is the thread count inside parallel regions (default 1).
-	Threads int `json:"threads,omitempty"`
-	// Top is the result count for hotspot-style analyses (default 10).
-	Top int `json:"top,omitempty"`
-	// Parallelism bounds the worker pool for sharded PAG construction
-	// (the CLI's -j). It does not change results, so it is excluded from
-	// the cache key.
-	Parallelism int `json:"parallelism,omitempty"`
-	// Faults is a deterministic fault-injection plan in the CLI's -faults
-	// syntax, e.g. "seed=7;crash:rank=3,at=5000". The analysis degrades
-	// gracefully and the report carries a data-quality section. Faults
-	// change results, so the plan (canonicalized) is part of the cache key.
-	Faults string `json:"faults,omitempty"`
+	perflow.AnalysisRequest
+
 	// TimeoutMS caps the job's run time; 0 uses the server default, and
-	// values above the server default are clamped to it.
+	// values above the server default are clamped to it. Delivery-only, so
+	// excluded from the cache key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // withDefaults fills the CLI-equivalent defaults.
 func (r SubmitRequest) withDefaults() SubmitRequest {
-	if r.Analysis == "" {
-		r.Analysis = "profile"
-	}
-	if r.Ranks <= 0 {
-		r.Ranks = 8
-	}
-	if r.Threads <= 0 {
-		r.Threads = 1
-	}
-	if r.Top <= 0 {
-		r.Top = 10
-	}
+	r.AnalysisRequest = r.AnalysisRequest.WithDefaults()
 	return r
 }
 
-// Key returns the content address of the request: a SHA-256 digest over the
-// canonicalized program and every result-affecting option. Parallelism and
-// TimeoutMS are deliberately excluded — sharded PAG construction is
-// byte-identical at any worker count, so they cannot change the result.
+// Key returns the content address of the request: the canonical
+// perflow.AnalysisRequest cache key. Parallelism and TimeoutMS are
+// deliberately excluded — sharded PAG construction is byte-identical at any
+// worker count, so they cannot change the result.
 func (r SubmitRequest) Key() string {
-	h := sha256.New()
-	fmt.Fprintf(h, "analysis=%s\nranks=%d\nranks2=%d\nthreads=%d\ntop=%d\n",
-		r.Analysis, r.Ranks, r.Ranks2, r.Threads, r.Top)
-	if spec := canonicalFaults(r.Faults); spec != "" {
-		fmt.Fprintf(h, "faults=%s\n", spec)
-	}
-	if r.Workload != "" {
-		fmt.Fprintf(h, "workload=%s\n", r.Workload)
-	} else {
-		io.WriteString(h, "dsl:\n")
-		io.WriteString(h, canonicalDSL(r.DSL))
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// canonicalFaults normalizes a fault-plan spec so equivalent plans (clause
-// reordering, float formatting, whitespace) hash to the same cache key. An
-// unparseable spec hashes as written — validate rejects it before any job
-// reaches the cache, so this is only a defensive fallback.
-func canonicalFaults(spec string) string {
-	plan, err := mpisim.ParseFaultPlan(spec)
-	if err != nil {
-		return spec
-	}
-	if plan == nil {
-		return ""
-	}
-	return plan.String()
-}
-
-// canonicalDSL normalizes a DSL source so formatting-only variants hash to
-// the same key: whitespace is collapsed, blank lines dropped, and comments
-// stripped — except `# lint:` directives, which are semantic (they suppress
-// findings) and must stay part of the program's identity.
-func canonicalDSL(src string) string {
-	var b strings.Builder
-	for _, line := range strings.Split(src, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "# lint:") && !strings.HasPrefix(line, "#lint:") {
-			continue
-		}
-		b.WriteString(strings.Join(strings.Fields(line), " "))
-		b.WriteByte('\n')
-	}
-	return b.String()
+	return r.CacheKey()
 }
 
 // State is a job's lifecycle position.
@@ -145,6 +63,16 @@ type JobResult struct {
 	// ElapsedUS is the wall-clock run cost of the original (uncached)
 	// execution, microseconds.
 	ElapsedUS int64 `json:"elapsed_us"`
+	// Diff is the differential report of a two-run request (ranks2 set);
+	// nil otherwise.
+	Diff *perflow.DiffReport `json:"diff,omitempty"`
+	// Violations are the request's policy violations, always present:
+	// empty when no policy was submitted or every rule passed.
+	Violations []perflow.PolicyViolation `json:"violations"`
+	// GateFailed reports an error-severity violation: the analysis itself
+	// succeeded — the result stays cacheable — but the submitted policy
+	// rejected it, the serve-side analogue of `pflow gate`'s exit code 3.
+	GateFailed bool `json:"gate_failed,omitempty"`
 }
 
 // Job is one submitted analysis with its lifecycle state. Mutable fields
@@ -201,9 +129,48 @@ type JobView struct {
 	Result      json.RawMessage `json:"result,omitempty"`
 }
 
-// errorResponse is the body of every non-2xx response. Diagnostics carries
-// structured lint findings for 422s caused by the static analyzer.
-type errorResponse struct {
-	Error       string            `json:"error"`
-	Diagnostics []lint.Diagnostic `json:"diagnostics,omitempty"`
+// Machine-readable error codes of the /v1 error envelope. Clients branch
+// on these, never on message text.
+const (
+	ErrCodeBadRequest      = "bad_request"      // 400: malformed body
+	ErrCodeInvalidRequest  = "invalid_request"  // 422: shape/limits/faults/policy
+	ErrCodeLintRejected    = "lint_rejected"    // 422: static diagnostics gate
+	ErrCodeQueueFull       = "queue_full"       // 429
+	ErrCodeDraining        = "draining"         // 503
+	ErrCodeNotFound        = "not_found"        // 404
+	ErrCodeAlreadyFinished = "already_finished" // 409
+	ErrCodeInternal        = "internal"         // 500
+)
+
+// apiError is the single versioned error envelope of every non-2xx /v1
+// response: a machine-readable code, a human-readable message, and zero or
+// more structured details.
+type apiError struct {
+	Code    string        `json:"code"`
+	Message string        `json:"message"`
+	Details []errorDetail `json:"details,omitempty"`
+}
+
+// errorDetail is one structured item inside an error envelope. Kind says
+// which payload field is set: "lint" carries a static diagnostic, "policy"
+// a per-rule parse problem.
+type errorDetail struct {
+	Kind string `json:"kind"`
+	// Code is the detail's own machine code (a lint code such as PF010, or
+	// the offending policy rule's fact name).
+	Code string `json:"code,omitempty"`
+	// Message is the detail's human-readable explanation.
+	Message string `json:"message,omitempty"`
+	// Diagnostic is the full lint finding for kind "lint".
+	Diagnostic *lint.Diagnostic `json:"diagnostic,omitempty"`
+}
+
+// lintDetails wraps lint findings as envelope details.
+func lintDetails(diags []lint.Diagnostic) []errorDetail {
+	out := make([]errorDetail, 0, len(diags))
+	for i := range diags {
+		d := diags[i]
+		out = append(out, errorDetail{Kind: "lint", Code: d.Code, Message: d.Message, Diagnostic: &d})
+	}
+	return out
 }

@@ -1,0 +1,144 @@
+package serve
+
+// Serve-side policy gating: the `policies` field rides the canonical
+// AnalysisRequest through submission, execution and the cache. A gate
+// failure is NOT a job failure — the analysis succeeded and stays
+// cacheable; violations and gate_failed ride in the result payload.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"perflow"
+)
+
+func TestPolicyViolationsInJobResult(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+
+	req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{
+		Workload: "ep", Analysis: "profile", Ranks: 2,
+		Policies: []string{"wait_pct < 0", "warn: mpi_pct <= 0", "no degraded"},
+	}}
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	final := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("gated job finished %s (%s), want done — a gate failure is not a job failure", final.State, final.Error)
+	}
+	var result JobResult
+	if err := json.Unmarshal(final.Result, &result); err != nil {
+		t.Fatal(err)
+	}
+	if !result.GateFailed {
+		t.Errorf("gate_failed not set: %+v", result)
+	}
+	if len(result.Violations) != 2 {
+		t.Fatalf("got %d violations, want 2 (error + warn): %+v", len(result.Violations), result.Violations)
+	}
+	if result.Violations[0].Code != "wait_pct" || result.Violations[1].Severity != perflow.PolicySevWarn {
+		t.Errorf("violations = %+v", result.Violations)
+	}
+
+	// A reordered but equivalent policy is the same content address: the
+	// resubmission is served from the cache.
+	reordered := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{
+		Workload: "ep", Analysis: "profile", Ranks: 2,
+		Policies: []string{"no degraded\nwarn: mpi_pct <= 0", "wait_pct < 0.0"},
+	}}
+	if req.Key() != reordered.Key() {
+		t.Error("equivalent policies must share a cache key")
+	}
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", reordered)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("equivalent policy resubmit: want 200 cache hit, got %d: %s", resp.StatusCode, data)
+	}
+	if v := decodeView(t, data); !v.Cached {
+		t.Errorf("equivalent policy resubmit not served from cache: %+v", v)
+	}
+
+	// A different limit is a different address.
+	other := req
+	other.Policies = []string{"wait_pct < 1", "warn: mpi_pct <= 0", "no degraded"}
+	if req.Key() == other.Key() {
+		t.Error("policy limit must affect the content address")
+	}
+}
+
+func TestPolicyPassingJobEmptyViolations(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{
+		Workload: "ep", Analysis: "profile", Ranks: 2,
+		Policies: []string{"no degraded\nno_pass failed"},
+	}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	final := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (%s)", final.State, final.Error)
+	}
+	var result JobResult
+	if err := json.Unmarshal(final.Result, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.GateFailed || len(result.Violations) != 0 {
+		t.Errorf("clean gate result = %+v", result)
+	}
+	// The wire payload carries an explicit empty array, not null.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(final.Result, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["violations"]) != "[]" {
+		t.Errorf("violations payload = %s, want []", raw["violations"])
+	}
+}
+
+func TestInvalidPolicyRejected422(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{
+		Workload: "ep", Analysis: "profile", Ranks: 2,
+		Policies: []string{"frobnicate the waits"},
+	}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422, got %d: %s", resp.StatusCode, data)
+	}
+	var er apiError
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != ErrCodeInvalidRequest {
+		t.Errorf("envelope code = %q, want %q", er.Code, ErrCodeInvalidRequest)
+	}
+}
+
+func TestRanks2DiffInJobResult(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{
+		Workload: "ep", Analysis: "profile", Ranks: 2, Ranks2: 4,
+	}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	final := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (%s)", final.State, final.Error)
+	}
+	var result JobResult
+	if err := json.Unmarshal(final.Result, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.Diff == nil {
+		t.Fatal("ranks2 job result has no diff report")
+	}
+	if result.Diff.RankRatio != 2 {
+		t.Errorf("diff rank ratio = %g, want 2", result.Diff.RankRatio)
+	}
+}

@@ -143,7 +143,7 @@ end
 func TestSubmitPollResult(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
 
-	req := SubmitRequest{Workload: "cg", Analysis: "comm", Ranks: 4}
+	req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "comm", Ranks: 4}}
 	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
@@ -194,7 +194,7 @@ func TestSubmitPollResult(t *testing.T) {
 func TestCacheHitOnResubmit(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
 
-	req := SubmitRequest{Workload: "ep", Analysis: "hotspot", Ranks: 4, Top: 5}
+	req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "ep", Analysis: "hotspot", Ranks: 4, Top: 5}}
 	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
@@ -245,27 +245,33 @@ func TestLintReject422(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{DSL: string(src), Analysis: "profile", Ranks: 4})
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{DSL: string(src), Analysis: "profile", Ranks: 4}})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("want 422, got %d: %s", resp.StatusCode, data)
 	}
-	var er struct {
-		Error       string `json:"error"`
-		Diagnostics []struct {
-			Code     string `json:"code"`
-			Severity string `json:"severity"`
-		} `json:"diagnostics"`
-	}
+	var er apiError
 	if err := json.Unmarshal(data, &er); err != nil {
 		t.Fatalf("bad error body %s: %v", data, err)
 	}
-	if len(er.Diagnostics) == 0 {
-		t.Fatalf("422 without diagnostics: %s", data)
+	if er.Code != ErrCodeLintRejected {
+		t.Errorf("envelope code = %q, want %q", er.Code, ErrCodeLintRejected)
+	}
+	if er.Message == "" {
+		t.Errorf("envelope without a message: %s", data)
+	}
+	if len(er.Details) == 0 {
+		t.Fatalf("422 without details: %s", data)
 	}
 	found := false
-	for _, d := range er.Diagnostics {
+	for _, d := range er.Details {
+		if d.Kind != "lint" {
+			t.Errorf("detail kind = %q, want lint", d.Kind)
+		}
 		if d.Code == "PF010" {
 			found = true
+			if d.Diagnostic == nil || d.Diagnostic.Message == "" {
+				t.Errorf("PF010 detail missing the full diagnostic: %s", data)
+			}
 		}
 	}
 	if !found {
@@ -280,19 +286,27 @@ func TestValidation422(t *testing.T) {
 		name string
 		req  SubmitRequest
 	}{
-		{"no_program", SubmitRequest{Analysis: "profile"}},
-		{"both_programs", SubmitRequest{Workload: "cg", DSL: "program p\nfunc main file a.c line 1\nend\n"}},
-		{"unknown_workload", SubmitRequest{Workload: "no-such-app"}},
-		{"unknown_analysis", SubmitRequest{Workload: "cg", Analysis: "frobnicate"}},
-		{"parse_error", SubmitRequest{DSL: "program p\nfunc main\n"}},
-		{"scalability_needs_ranks2", SubmitRequest{Workload: "cg", Analysis: "scalability", Ranks: 8, Ranks2: 4}},
-		{"ranks_limit", SubmitRequest{Workload: "cg", Ranks: 1 << 20}},
+		{"no_program", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Analysis: "profile"}}},
+		{"both_programs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", DSL: "program p\nfunc main file a.c line 1\nend\n"}}},
+		{"unknown_workload", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "no-such-app"}}},
+		{"unknown_analysis", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "frobnicate"}}},
+		{"parse_error", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{DSL: "program p\nfunc main\n"}}},
+		{"scalability_needs_ranks2", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "scalability", Ranks: 8, Ranks2: 4}}},
+		{"ranks_limit", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Ranks: 1 << 20}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", tc.req)
 			if resp.StatusCode != http.StatusUnprocessableEntity {
 				t.Fatalf("want 422, got %d: %s", resp.StatusCode, data)
+			}
+			var er apiError
+			if err := json.Unmarshal(data, &er); err != nil {
+				t.Fatalf("bad error envelope %s: %v", data, err)
+			}
+			if er.Code != ErrCodeInvalidRequest || er.Message == "" {
+				t.Errorf("envelope = {code:%q message:%q}, want code %q with a message",
+					er.Code, er.Message, ErrCodeInvalidRequest)
 			}
 		})
 	}
@@ -305,21 +319,21 @@ func TestQueueFullBackpressureAndCancel(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1, JobTimeout: 2 * time.Minute})
 
 	// Occupy the worker with a slow job, then fill the single queue slot.
-	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{DSL: slowDSL(20000), Analysis: "profile", Ranks: 48})
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{DSL: slowDSL(20000), Analysis: "profile", Ranks: 48}})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit running job: %d: %s", resp.StatusCode, data)
 	}
 	running := decodeView(t, data)
 	waitState(t, ts, running.ID, StateRunning, 30*time.Second)
 
-	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{DSL: slowDSL(20001), Analysis: "profile", Ranks: 48})
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{DSL: slowDSL(20001), Analysis: "profile", Ranks: 48}})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit queued job: %d: %s", resp.StatusCode, data)
 	}
 	queued := decodeView(t, data)
 
 	// Queue full: bounded backpressure, not unbounded acceptance.
-	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{DSL: slowDSL(20002), Analysis: "profile", Ranks: 48})
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{DSL: slowDSL(20002), Analysis: "profile", Ranks: 48}})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("want 429, got %d: %s", resp.StatusCode, data)
 	}
@@ -372,7 +386,7 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz after drain: want 503, got %d", resp.StatusCode)
 	}
-	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{Workload: "ep", Ranks: 2})
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "ep", Ranks: 2}})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit after drain: want 503, got %d", resp.StatusCode)
 	}
@@ -396,7 +410,7 @@ func TestConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			// Duplicate keys on purpose: i%5 distinct requests, so later
 			// submissions can hit the cache while earlier ones still run.
-			req := SubmitRequest{Workload: "listing2", Analysis: analyses[i%len(analyses)], Ranks: 2 + 2*(i%5/len(analyses)+1)}
+			req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "listing2", Analysis: analyses[i%len(analyses)], Ranks: 2 + 2*(i%5/len(analyses)+1)}}
 			resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
 			switch resp.StatusCode {
 			case http.StatusAccepted, http.StatusOK:
@@ -459,7 +473,7 @@ func TestConcurrentStress(t *testing.T) {
 // share a key, semantic differences (including lint suppressions) do not,
 // and parallelism/timeout knobs never affect content identity.
 func TestRequestKey(t *testing.T) {
-	base := SubmitRequest{DSL: "program p\nfunc main file a.c line 1\ncompute c line 2 cost 5\nend\n", Analysis: "profile", Ranks: 4}.withDefaults()
+	base := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{DSL: "program p\nfunc main file a.c line 1\ncompute c line 2 cost 5\nend\n", Analysis: "profile", Ranks: 4}}.withDefaults()
 
 	reformatted := base
 	reformatted.DSL = "# a comment\nprogram   p\n\n  func main file a.c line 1\n  compute c line 2 cost 5\n\tend\n"
@@ -486,7 +500,7 @@ func TestRequestKey(t *testing.T) {
 		t.Error("rank count must affect the content address")
 	}
 
-	wl := SubmitRequest{Workload: "cg", Analysis: "profile", Ranks: 4}.withDefaults()
+	wl := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "profile", Ranks: 4}}.withDefaults()
 	wl2 := wl
 	wl2.Workload = "ep"
 	if wl.Key() == wl2.Key() {

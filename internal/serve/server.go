@@ -159,17 +159,14 @@ var (
 
 // validate normalizes and checks a request, returning the prepared request
 // or a client error (and lint diagnostics when the static analyzer rejects
-// the program).
+// the program). Request shape — program exclusivity, known analysis, scale
+// ordering, parseable faults and policies — is the canonical
+// perflow.AnalysisRequest contract; only server capacity limits and the
+// synchronous lint gate live here.
 func (s *Server) validate(req SubmitRequest) (SubmitRequest, []lint.Diagnostic, error) {
 	req = req.withDefaults()
-	switch {
-	case req.Workload == "" && req.DSL == "":
-		return req, nil, errors.New("one of \"workload\" or \"dsl\" is required")
-	case req.Workload != "" && req.DSL != "":
-		return req, nil, errors.New("\"workload\" and \"dsl\" are mutually exclusive")
-	}
-	if !perflow.KnownAnalysis(req.Analysis) {
-		return req, nil, fmt.Errorf("unknown analysis %q (have %v)", req.Analysis, perflow.Analyses())
+	if err := req.AnalysisRequest.Validate(); err != nil {
+		return req, nil, err
 	}
 	if req.Ranks > s.opts.MaxRanks || req.Ranks2 > s.opts.MaxRanks {
 		return req, nil, fmt.Errorf("rank count exceeds server limit %d", s.opts.MaxRanks)
@@ -177,16 +174,11 @@ func (s *Server) validate(req SubmitRequest) (SubmitRequest, []lint.Diagnostic, 
 	if req.Threads > 256 {
 		return req, nil, errors.New("threads exceeds server limit 256")
 	}
-	if perflow.AnalysisNeedsTwoScales(req.Analysis) && req.Ranks2 <= req.Ranks {
-		return req, nil, fmt.Errorf("analysis %q needs ranks2 > ranks", req.Analysis)
-	}
-	if _, err := perflow.ParseFaultPlan(req.Faults); err != nil {
-		return req, nil, fmt.Errorf("invalid faults spec: %v", err)
-	}
 
 	// Resolve the program and lint it synchronously: parse failures and
 	// error-severity findings reject the submission up front (422), before
-	// any queue slot or simulation time is spent.
+	// any queue slot or simulation time is spent. SkipLint only skips the
+	// in-run gate; a served program must always lint clean.
 	var prog *ir.Program
 	if req.Workload != "" {
 		p, err := workloads.Get(req.Workload)
@@ -373,10 +365,10 @@ func (s *Server) runJob(job *Job) {
 	s.m.syncCache(s.cache.Stats())
 }
 
-// execute runs the request's analysis through the exact pipeline the CLI
-// uses (perflow.RunCtx + AnalyzeCtx), so the report bytes match a CLI
-// invocation with the same options. Each collection parses or builds a
-// fresh program, also matching the CLI.
+// execute runs the request through the canonical perflow.ExecuteRequest
+// dispatcher — the exact pipeline the CLI and `pflow gate` use — so the
+// report bytes match a CLI invocation with the same options, and policy
+// violations ride in the result.
 //
 // A panic anywhere in the pipeline (including user-registered analyses) is
 // converted into a failed job instead of killing the worker goroutine — one
@@ -390,64 +382,24 @@ func (s *Server) execute(ctx context.Context, req SubmitRequest) (resultJSON []b
 	pf := perflow.New()
 	started := time.Now()
 
-	plan, err := perflow.ParseFaultPlan(req.Faults)
-	if err != nil {
-		return nil, fmt.Errorf("invalid faults spec: %v", err)
-	}
-
-	collect := func(ranks int, withParallel bool) (*perflow.Result, error) {
-		opts := perflow.RunOptions{
-			Ranks:            ranks,
-			Threads:          req.Threads,
-			SkipParallelView: !withParallel,
-			Parallelism:      req.Parallelism,
-			Faults:           plan,
-		}
-		if req.Workload != "" {
-			return pf.RunWorkloadCtx(ctx, req.Workload, opts)
-		}
-		return pf.RunDSLCtx(ctx, strings.NewReader(req.DSL), opts)
-	}
-
-	needsParallel := perflow.AnalysisNeedsParallelView(req.Analysis)
-	var res, large *perflow.Result
-	if perflow.AnalysisNeedsTwoScales(req.Analysis) {
-		// Two-scale shape of the CLI: small run top-down only, large run
-		// with the parallel view — collected through the cancellation-aware
-		// two-scale pipeline so a canceled job aborts between the scales too.
-		var prog *ir.Program
-		if req.Workload != "" {
-			prog, err = workloads.Get(req.Workload)
-		} else {
-			prog, err = ir.Parse(strings.NewReader(req.DSL))
-		}
-		if err != nil {
-			return nil, err
-		}
-		smallOpts := perflow.RunOptions{Ranks: req.Ranks, Threads: req.Threads,
-			SkipParallelView: true, Parallelism: req.Parallelism, Faults: plan}
-		largeOpts := smallOpts
-		largeOpts.Ranks = req.Ranks2
-		largeOpts.SkipParallelView = !needsParallel
-		if res, large, err = pf.RunAtScalesCtx(ctx, prog, smallOpts, largeOpts); err != nil {
-			return nil, err
-		}
-	} else if res, err = collect(req.Ranks, needsParallel); err != nil {
-		return nil, err
-	}
-
 	var report bytes.Buffer
-	set, err := pf.AnalyzeCtx(ctx, res, large, req.Analysis, req.Top, &report)
+	outcome, err := pf.ExecuteRequest(ctx, req.AnalysisRequest, &report)
 	if err != nil {
 		return nil, err
 	}
 	result := &JobResult{
-		Report:    report.String(),
-		Trace:     core.BuildJSONTrace(pf.LastTrace),
-		ElapsedUS: time.Since(started).Microseconds(),
+		Report:     report.String(),
+		Trace:      core.BuildJSONTrace(pf.LastTrace),
+		ElapsedUS:  time.Since(started).Microseconds(),
+		Diff:       outcome.Diff,
+		GateFailed: outcome.GateFailed,
 	}
-	if set != nil {
-		result.Sets = append(result.Sets, core.BuildJSONReport(req.Analysis, set))
+	result.Violations = outcome.Violations
+	if result.Violations == nil {
+		result.Violations = []perflow.PolicyViolation{}
+	}
+	if outcome.Set != nil {
+		result.Sets = append(result.Sets, core.BuildJSONReport(req.Analysis, outcome.Set))
 	}
 	return marshalResult(result)
 }
