@@ -21,9 +21,12 @@ import (
 // fails the suite.
 var chaosSeeds = []int64{1, 7, 42}
 
-// chaosReport runs the full pipeline (collect with faults + hotspot and
-// profile analyses) and returns the rendered report bytes.
-func chaosReport(t *testing.T, seed int64, parallelism int) []byte {
+// chaosReport runs the full pipeline (collect with faults + profile,
+// hotspot and engine-backed comm analyses) and returns the rendered report
+// bytes. noPlan toggles the pass-plan compiler for the engine-backed
+// analysis, so the matrix also pins planned-vs-unplanned equivalence on
+// degraded data.
+func chaosReport(t *testing.T, seed int64, parallelism int, noPlan bool) []byte {
 	t.Helper()
 	plan, err := perflow.ParseFaultPlan(fmt.Sprintf(
 		"seed=%d;crash:rank=3,at=900;drop:rank=1,prob=0.4;slow:rank=2,factor=3", seed))
@@ -31,6 +34,7 @@ func chaosReport(t *testing.T, seed int64, parallelism int) []byte {
 		t.Fatal(err)
 	}
 	pf := perflow.New()
+	pf.NoPlan = noPlan
 	res, err := pf.RunWorkload("cg", perflow.RunOptions{
 		Ranks:            8,
 		SkipParallelView: true,
@@ -44,7 +48,7 @@ func chaosReport(t *testing.T, seed int64, parallelism int) []byte {
 		t.Fatalf("seed %d: fault plan produced no degradation", seed)
 	}
 	var report bytes.Buffer
-	for _, analysis := range []string{"profile", "hotspot"} {
+	for _, analysis := range []string{"profile", "hotspot", "comm"} {
 		if _, err := pf.AnalyzeCtx(context.Background(), res, nil, analysis, 10, &report); err != nil {
 			t.Fatalf("seed %d: analyze %s: %v", seed, analysis, err)
 		}
@@ -65,13 +69,15 @@ func TestChaosDeterminism(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
 			t.Parallel()
-			base := chaosReport(t, seed, 1)
+			base := chaosReport(t, seed, 1, false)
 			for _, par := range []int{1, 8} {
-				for run := 0; run < 2; run++ {
-					got := chaosReport(t, seed, par)
-					if !bytes.Equal(base, got) {
-						t.Fatalf("seed %d: report differs (parallelism %d, run %d)\n--- base ---\n%s\n--- got ---\n%s",
-							seed, par, run, base, got)
+				for _, noPlan := range []bool{false, true} {
+					for run := 0; run < 2; run++ {
+						got := chaosReport(t, seed, par, noPlan)
+						if !bytes.Equal(base, got) {
+							t.Fatalf("seed %d: report differs (parallelism %d, noplan %v, run %d)\n--- base ---\n%s\n--- got ---\n%s",
+								seed, par, noPlan, run, base, got)
+						}
 					}
 				}
 			}
@@ -83,7 +89,7 @@ func TestChaosDeterminism(t *testing.T) {
 // seed: different seeds must perturb the probabilistic drops and so the
 // degraded reports.
 func TestChaosSeedsDiffer(t *testing.T) {
-	if bytes.Equal(chaosReport(t, 1, 1), chaosReport(t, 7, 1)) {
+	if bytes.Equal(chaosReport(t, 1, 1, false), chaosReport(t, 7, 1, false)) {
 		t.Error("reports identical across seeds; drop hashing is not seeded")
 	}
 }

@@ -136,7 +136,8 @@ func main() {
 		faults = flag.String("faults", "",
 			"deterministic fault-injection plan, e.g. \"seed=7;crash:rank=3,at=5000;drop:rank=1,prob=0.5;slow:rank=2,factor=4\"; the analysis degrades gracefully and reports data quality")
 		skipLint = flag.Bool("skip-lint", false, "skip the static diagnostics gate before simulation")
-		trace    = flag.Bool("trace", false, "after a paradigm analysis, print its per-pass execution trace")
+		noPlan   = flag.Bool("noplan", false, "disable the pass-plan compiler and use the classic per-node scheduler; reports are byte-identical either way")
+		trace    = flag.Bool("trace", false, "after a paradigm analysis, print its per-pass execution trace (with the compiled plan unless -noplan)")
 		dotOut   = flag.String("dot", "", "write the highlighted result graph in DOT format to this file")
 		savePAG  = flag.String("save-pag", "", "after running, persist the top-down PAG to this file for offline analysis")
 		loadPAG  = flag.String("load-pag", "", "skip running; analyze a previously saved PAG (profile/hotspot/comm/waitstates only)")
@@ -195,6 +196,7 @@ func main() {
 			Threads:     *threads,
 			Top:         *topN,
 			Parallelism: *par,
+			NoPlan:      *noPlan,
 			SkipLint:    *skipLint,
 			Faults:      *faults,
 		}

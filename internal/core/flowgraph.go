@@ -192,6 +192,7 @@ type runConfig struct {
 	maxWorkers        int
 	passTimeout       time.Duration
 	continueOnFailure bool
+	noPlan            bool
 }
 
 // RunOption customizes one RunCtx invocation.
@@ -222,6 +223,17 @@ func WithPassTimeout(d time.Duration) RunOption {
 // aborts everything.
 func WithContinueOnFailure() RunOption {
 	return func(c *runConfig) { c.continueOnFailure = true }
+}
+
+// WithPlanning toggles the pass-plan compiler (default on). With planning,
+// the whole graph is compiled into an execution plan before any pass runs —
+// sibling scan passes fuse into one traversal, pure chains collapse into one
+// stage, shared structure artifacts are hoisted and refcounted — and
+// ExecutionTrace.Plan records every decision. Results are byte-identical
+// either way; WithPlanning(false) is the escape hatch that forces the
+// classic per-node scheduler (the pflow -noplan flag).
+func WithPlanning(on bool) RunOption {
+	return func(c *runConfig) { c.noPlan = !on }
 }
 
 // PassPanicError is the failure recorded when a pass panics: the scheduler
@@ -304,6 +316,12 @@ func (g *PerFlowGraph) RunCtx(ctx context.Context, opts ...RunOption) (*Results,
 		tr := &ExecutionTrace{}
 		g.lastTrace = tr
 		return newResults(g, tr), nil
+	}
+
+	if !cfg.noPlan {
+		if p := g.buildPlan(cfg, consumers); p != nil {
+			return g.runPlanned(ctx, cfg, workers, p, succs, consumers)
+		}
 	}
 
 	rctx, cancel := context.WithCancel(ctx)
@@ -446,25 +464,7 @@ func (g *PerFlowGraph) execNode(ctx context.Context, n *PNode, wid int, start ti
 	cfg runConfig, consumers map[portKey]int, mu *sync.Mutex, spans *[]PassSpan,
 	finish func(*PNode, []*Set, error, []*Set)) {
 
-	fallback := func(in []*Set) []*Set {
-		ports := 1
-		for k := range consumers {
-			if k.node == n.id && k.port+1 > ports {
-				ports = k.port + 1
-			}
-		}
-		fb := make([]*Set, ports)
-		for i := range fb {
-			fb[i] = &Set{}
-			for _, s := range in {
-				if s != nil && s.PAG != nil {
-					fb[i].PAG = s.PAG
-					break
-				}
-			}
-		}
-		return fb
-	}
+	fallback := func(in []*Set) []*Set { return g.fallbackFor(n, consumers, in) }
 
 	in := make([]*Set, len(n.inputs))
 	for i, ref := range n.inputs {
@@ -503,6 +503,30 @@ func (g *PerFlowGraph) execNode(ctx context.Context, n *PNode, wid int, start ti
 	mu.Unlock()
 
 	finish(n, out, err, fallback(in))
+}
+
+// fallbackFor builds a failed node's degraded-mode substitute outputs: one
+// empty set per consumed output port, over the environment of the first
+// available input, so downstream passes receive well-formed (empty) data.
+// Shared by the classic scheduler and the planned executor.
+func (g *PerFlowGraph) fallbackFor(n *PNode, consumers map[portKey]int, in []*Set) []*Set {
+	ports := 1
+	for k := range consumers {
+		if k.node == n.id && k.port+1 > ports {
+			ports = k.port + 1
+		}
+	}
+	fb := make([]*Set, ports)
+	for i := range fb {
+		fb[i] = &Set{}
+		for _, s := range in {
+			if s != nil && s.PAG != nil {
+				fb[i].PAG = s.PAG
+				break
+			}
+		}
+	}
+	return fb
 }
 
 // runPassBounded enforces the per-pass timeout around runPass. Without a

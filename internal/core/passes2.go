@@ -205,13 +205,21 @@ func isCollectiveName(name string) bool {
 
 // WaitStatePass wraps WaitStates.
 func WaitStatePass() Pass {
-	return PassFunc{
+	return Describe(PassFunc{
 		PassName: "waitstate_classification",
 		NumIn:    1,
 		Fn: func(in []*Set) ([]*Set, error) {
 			return []*Set{WaitStates(in[0])}, nil
 		},
-	}
+	}, PassInfo{
+		Pure:      true,
+		Traversal: TraversalScan,
+		Reads:     []string{pag.MetricWait, pag.AttrKind},
+		Writes:    []string{AttrWaitState},
+		Scan: func(in *Set) ScanKernel {
+			return &waitstateKernel{in: in, out: NewSet(in.PAG)}
+		},
+	})
 }
 
 // ScalingClass describes how a vertex's cost evolves across scales.

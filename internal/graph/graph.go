@@ -217,6 +217,42 @@ func (g *Graph) AddEdge(src, dst VertexID, label int) EdgeID {
 	return id
 }
 
+// Version returns the structural mutation counter: it changes on every
+// AddVertex/AddEdge and is stable across metric and attribute updates.
+// Callers use it to key caches of structure-derived artifacts (frozen
+// views, DAG skeletons, ancestor sets) by (graph, version).
+func (g *Graph) Version() uint64 { return g.version }
+
+// EnsureSharedMaps force-allocates the metric and attribute maps of every
+// vertex and edge. An empty map is observationally identical to a nil one,
+// but the distinction matters to anything that aliases these maps (DAGCopy
+// shares them with the original): a nil map at copy time would be replaced
+// by a fresh allocation on the next SetMetric, silently detaching the copy.
+// After EnsureSharedMaps, aliasing is permanent.
+func (g *Graph) EnsureSharedMaps() {
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		if v.Metrics == nil {
+			v.Metrics = make(map[string]float64, 4)
+		}
+		if v.VecMetrics == nil {
+			v.VecMetrics = make(map[string][]float64, 2)
+		}
+		if v.Attrs == nil {
+			v.Attrs = make(map[string]string, 2)
+		}
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.Metrics == nil {
+			e.Metrics = make(map[string]float64, 2)
+		}
+		if e.Attrs == nil {
+			e.Attrs = make(map[string]string, 2)
+		}
+	}
+}
+
 // HasVertex reports whether id is a valid vertex of g.
 func (g *Graph) HasVertex(id VertexID) bool {
 	return id >= 0 && int(id) < len(g.vertices)

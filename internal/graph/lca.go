@@ -23,6 +23,10 @@ type LCAFinder struct {
 	// anc caches the ancestor bitset of every queried vertex.
 	anc map[VertexID][]uint64
 
+	// pulls counts pull-direction sweeps taken while building ancestor
+	// sets — the direction-optimizing traversal's observable decision.
+	pulls int
+
 	// query scratch, reused across Query calls.
 	bfsQueue   []VertexID
 	seen       []bool
@@ -49,31 +53,25 @@ func NewLCAFinder(g *Graph) *LCAFinder {
 func (f *LCAFinder) Valid() bool { return f.valid }
 
 // ancestorBits returns the ancestor set of v (including v itself) as a
-// bitset indexed by VertexID, computed by reverse BFS over the frozen
-// in-CSR and cached for subsequent queries.
+// bitset indexed by VertexID, computed by the direction-optimizing reverse
+// traversal over the frozen CSR and cached for subsequent queries.
 func (f *LCAFinder) ancestorBits(v VertexID) []uint64 {
 	if bs, ok := f.anc[v]; ok {
 		return bs
 	}
 	bs := make([]uint64, f.nwords)
-	fz := f.f
-	q := f.bfsQueue[:0]
-	q = append(q, v)
-	bs[v>>6] |= 1 << (uint(v) & 63)
-	for head := 0; head < len(q); head++ {
-		u := q[head]
-		for _, s := range fz.inSrc[fz.inStart[u]:fz.inStart[u+1]] {
-			w, bit := s>>6, uint64(1)<<(uint(s)&63)
-			if bs[w]&bit == 0 {
-				bs[w] |= bit
-				q = append(q, s)
-			}
-		}
-	}
+	q, pulls := f.f.AncestorBits(v, bs, f.bfsQueue)
 	f.bfsQueue = q[:0]
+	f.pulls += pulls
 	f.anc[v] = bs
 	return bs
 }
+
+// PullSweeps returns how many pull-direction (bottom-up) sweeps the finder's
+// ancestor-set traversals have taken so far; zero means every set was built
+// purely frontier-push. Exposed so execution traces can report the
+// traversal direction actually chosen.
+func (f *LCAFinder) PullSweeps() int { return f.pulls }
 
 // Query returns the deepest common ancestor of a and b and one path from
 // that ancestor to each query vertex (pathA leads to a, pathB to b). Paths

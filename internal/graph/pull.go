@@ -1,0 +1,109 @@
+package graph
+
+// Direction-optimizing traversal in the style of Beamer's hybrid BFS: a
+// frontier-driven ("push") expansion pays O(frontier-edges) per step, while a
+// bottom-up ("pull") sweep pays O(unvisited vertices) but can stop probing a
+// vertex at its first already-visited neighbor. When the frontier's edge
+// budget exceeds the unvisited remainder, pulling is cheaper. PerFlow uses
+// this for bitset reachability closures (LCA ancestor sets), where the visit
+// ORDER is irrelevant — only membership matters — so switching strategies
+// mid-traversal cannot change any observable result.
+
+// TraversalDirection is the strategy chosen for one traversal step.
+type TraversalDirection int
+
+const (
+	// DirPush expands the frontier outward along adjacency lists.
+	DirPush TraversalDirection = iota
+	// DirPull sweeps unvisited vertices probing for a visited neighbor.
+	DirPull
+)
+
+// String returns "push" or "pull".
+func (d TraversalDirection) String() string {
+	if d == DirPull {
+		return "pull"
+	}
+	return "push"
+}
+
+// ChooseDirection picks the cheaper strategy for the next traversal step
+// given the current frontier size, the number of still-unvisited vertices,
+// and the graph's mean out-degree. Push costs roughly frontier×meanDegree
+// edge inspections; pull costs one probe per unvisited vertex (usually
+// terminating early). Prefer pull when the push budget exceeds the
+// unvisited remainder.
+func ChooseDirection(frontier, unvisited int, meanDegree float64) TraversalDirection {
+	if meanDegree < 1 {
+		meanDegree = 1
+	}
+	if float64(frontier)*meanDegree > float64(unvisited) {
+		return DirPull
+	}
+	return DirPush
+}
+
+// AncestorBits fills bs — a zeroed bitset with at least (NumVertices+63)/64
+// words — with every vertex from which v is reachable, including v itself:
+// the reverse reachability closure LCA ancestor sets are built from.
+//
+// The traversal is direction-optimizing. It starts as a push-style reverse
+// BFS over the in-CSR; once the frontier outgrows the unvisited remainder
+// (per ChooseDirection) it switches to pull-style bottom-up sweeps, marking
+// any unvisited vertex with an out-neighbor already in the set, iterated to
+// a fixpoint. Because the result is a membership bitset, the two strategies
+// produce identical closures.
+//
+// queue is optional scratch reused across calls; the (possibly grown)
+// buffer is returned along with the number of pull sweeps taken, so callers
+// can both recycle the allocation and report the traversal decision.
+func (f *Frozen) AncestorBits(v VertexID, bs []uint64, queue []VertexID) ([]VertexID, int) {
+	f.check()
+	n := f.NumVertices()
+	q := queue[:0]
+	q = append(q, v)
+	bs[int(v)>>6] |= 1 << (uint(v) & 63)
+	visited := 1
+	pulls := 0
+	meanDeg := float64(len(f.inSrc)) / float64(max(n, 1))
+	for head := 0; head < len(q); {
+		if ChooseDirection(len(q)-head, n-visited, meanDeg) == DirPull {
+			// Bottom-up: sweep unvisited vertices, admitting any with an
+			// already-admitted out-neighbor, until a sweep admits nothing.
+			// The fixpoint is exactly the remaining closure, so the pending
+			// push frontier is subsumed and the traversal is done.
+			for {
+				pulls++
+				added := 0
+				for u := 0; u < n; u++ {
+					word, bit := u>>6, uint64(1)<<(uint(u)&63)
+					if bs[word]&bit != 0 {
+						continue
+					}
+					for _, d := range f.outDst[f.outStart[u]:f.outStart[u+1]] {
+						if bs[int(d)>>6]&(1<<(uint(d)&63)) != 0 {
+							bs[word] |= bit
+							added++
+							break
+						}
+					}
+				}
+				visited += added
+				if added == 0 {
+					return q, pulls
+				}
+			}
+		}
+		u := q[head]
+		head++
+		for _, src := range f.inSrc[f.inStart[u]:f.inStart[u+1]] {
+			word, bit := int(src)>>6, uint64(1)<<(uint(src)&63)
+			if bs[word]&bit == 0 {
+				bs[word] |= bit
+				q = append(q, src)
+				visited++
+			}
+		}
+	}
+	return q, pulls
+}

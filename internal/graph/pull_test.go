@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pushOnlyAncestors is the reference implementation: plain reverse BFS with
+// no direction switching. The hybrid AncestorBits must produce bit-for-bit
+// the same closure.
+func pushOnlyAncestors(f *Frozen, v VertexID) []uint64 {
+	bs := make([]uint64, (f.NumVertices()+63)/64)
+	bs[int(v)>>6] |= 1 << (uint(v) & 63)
+	q := []VertexID{v}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, s := range f.inSrc[f.inStart[u]:f.inStart[u+1]] {
+			w, bit := int(s)>>6, uint64(1)<<(uint(s)&63)
+			if bs[w]&bit == 0 {
+				bs[w] |= bit
+				q = append(q, s)
+			}
+		}
+	}
+	return bs
+}
+
+func randomDAGForPull(rng *rand.Rand, nv, extraEdges int) *Graph {
+	g := New(nv, nv+extraEdges)
+	for i := 0; i < nv; i++ {
+		g.AddVertex("v", 0)
+	}
+	// A spine plus random forward edges keeps it acyclic but with varied
+	// fan-in, so both push-heavy and pull-heavy shapes occur.
+	for i := 1; i < nv; i++ {
+		g.AddEdge(VertexID(rng.Intn(i)), VertexID(i), 0)
+	}
+	for i := 0; i < extraEdges; i++ {
+		a, b := rng.Intn(nv), rng.Intn(nv)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		g.AddEdge(VertexID(a), VertexID(b), 0)
+	}
+	return g
+}
+
+func TestAncestorBitsHybridMatchesPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pullSeen := false
+	for trial := 0; trial < 60; trial++ {
+		nv := 2 + rng.Intn(120)
+		g := randomDAGForPull(rng, nv, rng.Intn(4*nv))
+		f := g.Frozen()
+		var scratch []VertexID
+		for _, v := range []VertexID{0, VertexID(nv / 2), VertexID(nv - 1)} {
+			want := pushOnlyAncestors(f, v)
+			got := make([]uint64, len(want))
+			var pulls int
+			scratch, pulls = f.AncestorBits(v, got, scratch)
+			if pulls > 0 {
+				pullSeen = true
+			}
+			for w := range want {
+				if got[w] != want[w] {
+					t.Fatalf("trial %d vertex %d word %d: hybrid %x != push %x (pulls=%d)",
+						trial, v, w, got[w], want[w], pulls)
+				}
+			}
+		}
+	}
+	if !pullSeen {
+		t.Fatal("no trial ever switched to pull direction; corpus too sparse to exercise the hybrid")
+	}
+}
+
+func TestLCAFinderHybridQueriesUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		nv := 3 + rng.Intn(60)
+		g := randomDAGForPull(rng, nv, rng.Intn(3*nv))
+		f := NewLCAFinder(g)
+		ref := NewLCAFinder(g)
+		// Disable any cached cross-talk by querying in different orders.
+		type pair struct{ a, b VertexID }
+		var pairs []pair
+		for i := 0; i < 10; i++ {
+			pairs = append(pairs, pair{VertexID(rng.Intn(nv)), VertexID(rng.Intn(nv))})
+		}
+		for _, p := range pairs {
+			got, _, _ := f.Query(p.a, p.b)
+			want, _, _ := ref.Query(p.a, p.b)
+			if got != want {
+				t.Fatalf("trial %d Query(%d,%d): %d != %d", trial, p.a, p.b, got, want)
+			}
+			// The reference invariant: the LCA must be an ancestor of both.
+			if got != NoVertex {
+				fa := pushOnlyAncestors(g.Frozen(), p.a)
+				if fa[int(got)>>6]&(1<<(uint(got)&63)) == 0 {
+					t.Fatalf("trial %d: LCA %d not an ancestor of %d", trial, got, p.a)
+				}
+			}
+		}
+	}
+}
+
+func TestChooseDirection(t *testing.T) {
+	if d := ChooseDirection(1, 1000, 2); d != DirPush {
+		t.Fatalf("small frontier should push, got %v", d)
+	}
+	if d := ChooseDirection(600, 100, 2); d != DirPull {
+		t.Fatalf("large frontier should pull, got %v", d)
+	}
+	if DirPush.String() != "push" || DirPull.String() != "pull" {
+		t.Fatal("direction strings")
+	}
+}

@@ -41,6 +41,11 @@ type AnalysisRequest struct {
 	// (the CLI's -j). It does not change results, so it is excluded from
 	// the cache key.
 	Parallelism int `json:"parallelism,omitempty"`
+	// NoPlan disables the pass-plan compiler for the request's analysis
+	// runs, forcing the classic per-node scheduler (the CLI's -noplan).
+	// Planned and unplanned runs produce byte-identical reports, so, like
+	// Parallelism, it is excluded from the cache key.
+	NoPlan bool `json:"no_plan,omitempty"`
 	// SkipLint disables the static diagnostics gate before simulation.
 	// It changes results (lint attachments), so it is part of the key.
 	SkipLint bool `json:"skip_lint,omitempty"`
@@ -212,6 +217,7 @@ func (pf *PerFlow) ExecuteRequest(ctx context.Context, req AnalysisRequest, w io
 	if err != nil {
 		return nil, err
 	}
+	pf.NoPlan = req.NoPlan
 	pol, err := ParsePolicyRules(req.Policies)
 	if err != nil {
 		return nil, err
