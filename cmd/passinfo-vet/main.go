@@ -1,0 +1,38 @@
+// Command passinfo-vet runs the repo-local PassInfo access-pattern checker
+// over one or more package directories (default: internal/core). It exits
+// nonzero when any pass touches an environment key its PassInfo does not
+// declare — the declarations are what the pass-plan compiler's fusion
+// proofs rest on, so CI runs this alongside the compiler's own tests.
+//
+// Usage:
+//
+//	go run ./cmd/passinfo-vet [dir ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"perflow/internal/toolvet/passinfo"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/core"}
+	}
+	exit := 0
+	for _, dir := range dirs {
+		findings, err := passinfo.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "passinfo-vet: %s: %v\n", dir, err)
+			exit = 1
+			continue
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -18,6 +18,8 @@
 //	pflow diff zeusmp zeusmp-opt -ranks 8
 //	pflow diff halo2d.pfl -ranks 4 -b-ranks 8 -json
 //	pflow gate -policy perf.policy -workload zeusmp -ranks 8 -ranks2 16
+//	pflow predict -workload cg -ranks 64
+//	pflow -workload lammps -ranks 16 -analysis comm -predict
 package main
 
 import (
@@ -41,9 +43,12 @@ import (
 func runLint(args []string) {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of text")
 	ranks := fs.Int("ranks", 0, "pin the analysis to one communicator size (0 = only findings that hold at every modeled size)")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "snapshot the (post-suppression) findings to this baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pflow lint [-json] [-ranks N] <file.pfl> ...")
+		fmt.Fprintln(os.Stderr, "usage: pflow lint [-json|-sarif] [-ranks N] [-baseline file] [-write-baseline file] <file.pfl> ...")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -51,32 +56,47 @@ func runLint(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "pflow lint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+	var base lint.Baseline
+	if *baseline != "" {
+		var err error
+		if base, err = lint.LoadBaseline(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "pflow lint:", err)
+			os.Exit(2)
+		}
+	}
+	structured := *jsonOut || *sarifOut || *writeBaseline != ""
 	exit := 0
+	failed := false // parse/IO failures, never absorbed by a baseline snapshot
 	var all []lint.Diagnostic
 	for _, path := range fs.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pflow lint:", err)
-			exit = 1
+			failed = true
 			continue
 		}
 		prog, err := ir.ParseLenient(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pflow lint: %s: %v\n", path, err)
-			exit = 1
+			failed = true
 			continue
 		}
 		diags, err := lint.Run(prog, lint.Options{Ranks: *ranks})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pflow lint: %s: %v\n", path, err)
-			exit = 1
+			failed = true
 			continue
 		}
+		diags = base.Filter(diags)
 		if lint.HasErrors(diags) {
 			exit = 1
 		}
-		if *jsonOut {
+		if structured {
 			all = append(all, diags...)
 			continue
 		}
@@ -97,11 +117,35 @@ func runLint(args []string) {
 			fmt.Print(line)
 		}
 	}
-	if *jsonOut {
+	switch {
+	case *writeBaseline != "":
+		f, err := os.Create(*writeBaseline)
+		if err == nil {
+			err = lint.WriteBaseline(f, all)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pflow lint:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pflow lint: wrote baseline with %d finding(s) to %s\n", len(all), *writeBaseline)
+		// Snapshotting accepts the current findings; do not fail on them.
+		exit = 0
+	case *jsonOut:
 		if err := lint.WriteJSON(os.Stdout, all); err != nil {
 			fmt.Fprintln(os.Stderr, "pflow lint:", err)
 			os.Exit(1)
 		}
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, "pflow lint:", err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		exit = 1
 	}
 	os.Exit(exit)
 }
@@ -119,6 +163,8 @@ func main() {
 			os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
 		case "gate":
 			os.Exit(runGate(os.Args[2:], os.Stdout, os.Stderr))
+		case "predict":
+			os.Exit(runPredict(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	var (
@@ -135,6 +181,7 @@ func main() {
 		topN   = flag.Int("top", 10, "result count for hotspot-style analyses")
 		faults = flag.String("faults", "",
 			"deterministic fault-injection plan, e.g. \"seed=7;crash:rank=3,at=5000;drop:rank=1,prob=0.5;slow:rank=2,factor=4\"; the analysis degrades gracefully and reports data quality")
+		predict  = flag.Bool("predict", false, "append the static prediction section: the symbolic engine's predicted communication matrix and cost model cross-checked against the collected run")
 		skipLint = flag.Bool("skip-lint", false, "skip the static diagnostics gate before simulation")
 		noPlan   = flag.Bool("noplan", false, "disable the pass-plan compiler and use the classic per-node scheduler; reports are byte-identical either way")
 		trace    = flag.Bool("trace", false, "after a paradigm analysis, print its per-pass execution trace (with the compiled plan unless -noplan)")
@@ -197,6 +244,7 @@ func main() {
 			Top:         *topN,
 			Parallelism: *par,
 			NoPlan:      *noPlan,
+			Predict:     *predict,
 			SkipLint:    *skipLint,
 			Faults:      *faults,
 		}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"perflow"
+)
+
+// runPredict implements the "pflow predict" subcommand: the symbolic
+// dataflow engine's static performance report — communication matrix,
+// cost model, critical path, load imbalance — derived from the IR alone.
+// No rank is simulated; this is what the tool can say about a program
+// before it ever runs.
+func runPredict(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "", "built-in workload name")
+	dslPath := fs.String("dsl", "", "path to a program in the PerFlow DSL")
+	ranks := fs.Int("ranks", 8, "communicator size to evaluate the closed forms at")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pflow predict [-ranks N] (-workload NAME | -dsl FILE)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var prog *perflow.Program
+	var err error
+	switch {
+	case *workload != "" && *dslPath != "":
+		fmt.Fprintln(stderr, "pflow predict: -workload and -dsl are mutually exclusive")
+		return 2
+	case *workload != "":
+		prog, err = perflow.LoadWorkload(*workload)
+	case *dslPath != "":
+		var src []byte
+		if src, err = os.ReadFile(*dslPath); err == nil {
+			prog, err = perflow.ParseProgram(strings.NewReader(string(src)))
+		}
+	default:
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "pflow predict:", err)
+		return 1
+	}
+
+	pred, err := perflow.Predict(prog, *ranks)
+	if err != nil {
+		fmt.Fprintln(stderr, "pflow predict:", err)
+		return 1
+	}
+	pred.Write(stdout)
+	return 0
+}

@@ -38,7 +38,8 @@ package ir
 // `slope F`, `factor R:F[,R:F...]`, `add R:F[,...]`, `lowranks K:F`
 // (first K ranks multiplied by F).
 //
-// PEER is right[+N] | left[+N] | rank N | xor N | halo2d N.
+// PEER is right[+N] | left[+N] | rank N | xor N | halo2d N | any
+// (wildcard source, receive operations only).
 
 import (
 	"bufio"
@@ -724,6 +725,8 @@ func parsePeer(v string, kv map[string]string) (Peer, error) {
 		return Peer{Kind: PeerXor, Arg: n}, nil
 	case v == "halo2d":
 		return Peer{Kind: PeerHalo2D, Arg: arg}, nil
+	case v == "any":
+		return Peer{Kind: PeerAny}, nil
 	default:
 		return Peer{}, fmt.Errorf("unknown peer pattern %q", v)
 	}

@@ -156,6 +156,7 @@ const (
 	PeerConst           // fixed rank Arg
 	PeerXor             // rank XOR Arg (hypercube patterns, e.g. CG/FT)
 	PeerHalo2D          // neighbor in a sqrt(P) x sqrt(P) grid; Arg: 0=+x 1=-x 2=+y 3=-y
+	PeerAny             // wildcard source (MPI_ANY_SOURCE); receive-only
 )
 
 // Resolve returns the peer rank for the given local rank, or -1 when the
@@ -214,6 +215,11 @@ func (p Peer) Resolve(rank, nranks int) int {
 			return -1
 		}
 		return ((rank+d)%nranks + nranks) % nranks
+	case PeerAny:
+		// A wildcard source has no single partner; the simulator matches it
+		// against whichever send arrives, and static analyses treat it as
+		// "any rank". Resolve reports no fixed peer.
+		return -1
 	default:
 		return -1
 	}
@@ -232,6 +238,8 @@ func (p Peer) String() string {
 		return fmt.Sprintf("xor%d", p.Arg)
 	case PeerHalo2D:
 		return fmt.Sprintf("halo2d:%d", p.Arg)
+	case PeerAny:
+		return "any"
 	default:
 		return "none"
 	}

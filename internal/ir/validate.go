@@ -96,6 +96,15 @@ func (p *Program) Violations() []Violation {
 						report(CodeMissingPeer, fn, n, "%s has no peer", x.Op)
 					}
 				}
+				// The wildcard source is legal only where MPI allows it: on
+				// receive operations. A send must name a concrete target.
+				if x.Peer.Kind == PeerAny {
+					switch x.Op {
+					case CommRecv, CommIrecv: // ok: MPI_ANY_SOURCE
+					default:
+						report(CodeMissingPeer, fn, n, "%s cannot use the wildcard peer \"any\"", x.Op)
+					}
+				}
 				switch x.Op {
 				case CommIsend, CommIrecv, CommWait:
 					if x.Req == "" {

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A Baseline is a snapshot of accepted findings. Linting with a baseline
+// suppresses every finding already in the snapshot, so a codebase can
+// adopt new analyzers (or the symbolic engine's witness-size checks)
+// incrementally: snapshot today's findings once, then fail CI only on
+// regressions.
+
+// Baseline is the set of suppressed finding keys.
+type Baseline map[string]bool
+
+// BaselineKey is the identity of a finding for baseline matching: code,
+// position and message. The message is included deliberately — if a
+// finding's evidence changes (different sizes, different byte counts) it
+// is a new finding, not the baselined one.
+func BaselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s %s %s", d.Position, d.Code, d.Message)
+}
+
+// LoadBaseline reads a baseline file written by WriteBaselineFile.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	if err := json.Unmarshal(data, &keys); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := Baseline{}
+	for _, k := range keys {
+		b[k] = true
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the findings' keys as a sorted JSON array.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, BaselineKey(d))
+	}
+	sort.Strings(keys)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(keys)
+}
+
+// Filter returns the findings not present in the baseline.
+func (b Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	if len(b) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !b[BaselineKey(d)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBaselineRoundTrip snapshots a fixture's findings and asserts the
+// loaded baseline suppresses exactly them — and nothing from a different
+// fixture.
+func TestBaselineRoundTrip(t *testing.T) {
+	leak := lintFile(t, "../../examples/dsl/bad/leaked_request.pfl")
+	if len(leak) == 0 {
+		t.Fatal("fixture has no findings")
+	}
+
+	var b strings.Builder
+	if err := WriteBaseline(&b, leak); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := base.Filter(leak); len(got) != 0 {
+		t.Errorf("baselined findings not suppressed: %v", got)
+	}
+	other := lintFile(t, "../../examples/dsl/bad/deadlock.pfl")
+	if got := base.Filter(other); len(got) != len(other) {
+		t.Errorf("baseline suppressed unrelated findings: %d of %d survive", len(got), len(other))
+	}
+}
+
+// TestBaselineKeyIncludesMessage: changed evidence means a new finding.
+func TestBaselineKeyIncludesMessage(t *testing.T) {
+	d := Diagnostic{Code: "PF012", Position: Position{File: "a.c", Line: 3}, Message: "old evidence"}
+	base := Baseline{BaselineKey(d): true}
+	d.Message = "new evidence"
+	if got := base.Filter([]Diagnostic{d}); len(got) != 1 {
+		t.Errorf("finding with changed message must survive the baseline")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"perflow/internal/ir"
+	"perflow/internal/sdf"
 )
 
 // Severity classifies how a finding affects a run: errors abort
@@ -156,8 +157,27 @@ func (ps *Pass) Sizes() []int {
 }
 
 // Comms returns the statically resolved communication sequence of one rank
-// at the given communicator size, cached across analyzers.
+// at the given communicator size, cached across analyzers. The stream comes
+// from the symbolic dataflow model when the program summarizes exactly, and
+// from the per-rank enumeration walker otherwise; the two are identical on
+// every program both can handle.
 func (ps *Pass) Comms(rank, size int) []commOp { return ps.cache.comms(rank, size) }
+
+// Model returns the program's symbolic dataflow model, shared across
+// analyzers. It is nil when the engine cannot summarize the program exactly
+// (cyclic static call graph) or when Options.NoSymbolic disabled it; the
+// symbolic analyzers (PF030+) must no-op on nil.
+func (ps *Pass) Model() *sdf.Model { return ps.cache.symModel() }
+
+// WitnessSizes returns the communicator sizes worth probing symbolically —
+// every size at which some closed form in the IR changes behavior — cached
+// across analyzers. See sdf.WitnessSizes.
+func (ps *Pass) WitnessSizes() []int {
+	if ps.cache.witness == nil {
+		ps.cache.witness = sdf.WitnessSizes(ps.Prog)
+	}
+	return ps.cache.witness
+}
 
 // Violations returns the program's structural violations, cached across
 // analyzers.
@@ -225,6 +245,25 @@ type runCache struct {
 	ops     map[[2]int][]commOp // (rank, size) -> resolved comm sequence
 	viol    []ir.Violation
 	violSet bool
+
+	noSym    bool       // Options.NoSymbolic: force the enumeration walker
+	model    *sdf.Model // lazily built; nil when unavailable or disabled
+	modelSet bool
+	witness  []int // lazily derived witness sizes
+}
+
+// symModel lazily builds the symbolic dataflow model, once per Run. A nil
+// return (cyclic call graph, or NoSymbolic) routes every consumer to the
+// enumeration fallback.
+func (c *runCache) symModel() *sdf.Model {
+	if c.noSym {
+		return nil
+	}
+	if !c.modelSet {
+		c.model, _ = sdf.New(c.prog)
+		c.modelSet = true
+	}
+	return c.model
 }
 
 func (c *runCache) comms(rank, size int) []commOp {
@@ -235,7 +274,12 @@ func (c *runCache) comms(rank, size int) []commOp {
 	if ops, ok := c.ops[key]; ok {
 		return ops
 	}
-	ops := rankComms(c.prog, rank, size)
+	var ops []commOp
+	if m := c.symModel(); m != nil {
+		ops = modelComms(m, rank, size)
+	} else {
+		ops = rankComms(c.prog, rank, size)
+	}
 	c.ops[key] = ops
 	return ops
 }
@@ -255,6 +299,13 @@ type Options struct {
 	Ranks int
 	// Analyzers names the analyzers to run; empty runs all of them.
 	Analyzers []string
+	// NoSymbolic forces the per-rank enumeration walker instead of the
+	// symbolic dataflow engine for the shared communication streams, and
+	// disables the symbolic analyzers (PF030+). Findings from the
+	// enumeration-era analyzers are identical either way (the differential
+	// test pins this); the option exists for that test and as an escape
+	// hatch.
+	NoSymbolic bool
 }
 
 // Run lints a program with the registered analyzers and returns its
@@ -272,7 +323,7 @@ func Run(prog *ir.Program, opts Options) ([]Diagnostic, error) {
 	for _, name := range opts.Analyzers {
 		want[name] = true
 	}
-	cache := &runCache{prog: prog}
+	cache := &runCache{prog: prog, noSym: opts.NoSymbolic}
 	var diags []Diagnostic
 	for _, an := range Analyzers() {
 		if len(want) > 0 && !want[an.Name] {

@@ -45,6 +45,13 @@ func runMatch(ps *Pass, bytesOnly bool) {
 // chKey identifies a point-to-point channel.
 type chKey struct{ src, dst, tag int }
 
+// wildKey identifies a wildcard pool: the MPI_ANY_SOURCE receives one rank
+// posts under one tag, aggregated. The pool can complete a send from any
+// source, so sends with no explicit receive channel are absorbed by it
+// instead of reported as unmatched; which sender each receive pairs with is
+// nondeterministic, which PF030 reports separately.
+type wildKey struct{ dst, tag int }
+
 // chSide aggregates one side of a channel.
 type chSide struct {
 	count float64 // total operations, weighted by loop multiplicity
@@ -67,8 +74,23 @@ func accumulate(m map[chKey]*chSide, k chKey, o commOp) {
 func matchFindings(ps *Pass, size int, bytesOnly bool) []Diagnostic {
 	sends := map[chKey]*chSide{}
 	recvs := map[chKey]*chSide{}
+	wilds := map[wildKey]*chSide{}
 	for r := 0; r < size; r++ {
 		for _, o := range ps.Comms(r, size) {
+			if o.peer == wildAny {
+				switch o.op {
+				case ir.CommRecv, ir.CommIrecv:
+					k := wildKey{dst: r, tag: o.node.Tag}
+					s := wilds[k]
+					if s == nil {
+						s = &chSide{node: o.node, op: o.op, fn: o.fn}
+						wilds[k] = s
+					}
+					s.count += o.mult
+					s.bytes += o.mult * o.bytes
+				}
+				continue
+			}
 			if o.peer < 0 {
 				continue // missing or unresolvable peer; PF002 territory
 			}
@@ -79,6 +101,12 @@ func matchFindings(ps *Pass, size int, bytesOnly bool) []Diagnostic {
 				accumulate(recvs, chKey{src: o.peer, dst: r, tag: o.node.Tag}, o)
 			}
 		}
+	}
+	// Any send channel toward (dst, tag) is a candidate for that pool's
+	// wildcard receives, whether or not an explicit receive also exists.
+	sendCandidates := map[wildKey]bool{}
+	for k := range sends {
+		sendCandidates[wildKey{dst: k.dst, tag: k.tag}] = true
 	}
 
 	// One finding per anchor node: a single send statement generates a
@@ -100,7 +128,25 @@ func matchFindings(ps *Pass, size int, bytesOnly bool) []Diagnostic {
 	for _, k := range sortedKeys(sends) {
 		s := sends[k]
 		rv, matched := recvs[k]
+		w, wild := wilds[wildKey{dst: k.dst, tag: k.tag}]
 		switch {
+		case !matched && wild:
+			// Absorbed by the wildcard pool: an any-source receive at the
+			// destination completes these sends. Count accounting across the
+			// pool is nondeterministic (PF030 territory), but a payload-size
+			// disagreement is still statically certain.
+			if bytesOnly && s.count > 0 && w.count > 0 &&
+				!closeEnough(s.bytes/s.count, w.bytes/w.count) {
+				d := ps.diag(s.node, s.fn,
+					"%s rank %d -> rank %d (tag %d) sends %s bytes but the any-source receive posts %s bytes",
+					s.op, k.src, k.dst, k.tag, trimFloat(s.bytes/s.count), trimFloat(w.bytes/w.count))
+				d.Related = append(d.Related, related(w.node, "matching any-source %s here", w.op))
+				record(d)
+			}
+		case matched && wild:
+			// Explicit receives exist too, but the wildcard competes for the
+			// same messages: static count/size bookkeeping per channel is no
+			// longer meaningful, so stay silent rather than guess.
 		case !matched && !bytesOnly:
 			d := ps.diag(s.node, s.fn,
 				"%s rank %d -> rank %d (tag %d) has no matching receive", s.op, k.src, k.dst, k.tag)
@@ -135,6 +181,15 @@ func matchFindings(ps *Pass, size int, bytesOnly bool) []Diagnostic {
 				d.Related = append(d.Related, *hint)
 			}
 			record(d)
+		}
+		for _, wk := range sortedWildKeys(wilds) {
+			if sendCandidates[wk] {
+				continue
+			}
+			rv := wilds[wk]
+			record(ps.diag(rv.node, rv.fn,
+				"%s at rank %d from MPI_ANY_SOURCE (tag %d) has no candidate send from any rank",
+				rv.op, wk.dst, wk.tag))
 		}
 	}
 
@@ -181,6 +236,21 @@ func sortedKeys(m map[chKey]*chSide) []chKey {
 		if a.src != b.src {
 			return a.src < b.src
 		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	return keys
+}
+
+func sortedWildKeys(m map[wildKey]*chSide) []wildKey {
+	keys := make([]wildKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
 		if a.dst != b.dst {
 			return a.dst < b.dst
 		}

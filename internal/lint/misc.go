@@ -31,55 +31,62 @@ func init() {
 func runDivergence(ps *Pass) {
 	var perSize []map[diagKey]Diagnostic
 	for _, size := range ps.Sizes() {
-		type reach struct {
-			first   commOp
-			byRank  map[int]float64
-			minR    int
-			unequal bool
-		}
-		coll := map[ir.NodeID]*reach{}
-		for r := 0; r < size; r++ {
-			for _, o := range ps.Comms(r, size) {
-				if !o.node.Op.IsCollective() {
-					continue
-				}
-				id := ir.InfoOf(o.node).ID()
-				rc := coll[id]
-				if rc == nil {
-					rc = &reach{first: o, byRank: map[int]float64{}, minR: r}
-					coll[id] = rc
-				}
-				rc.byRank[r] += o.mult
-			}
-		}
-		m := map[diagKey]Diagnostic{}
-		for id, rc := range coll {
-			var ref float64
-			for _, c := range rc.byRank {
-				ref = c
-				break
-			}
-			for _, c := range rc.byRank {
-				if !closeEnough(c, ref) {
-					rc.unequal = true
-					break
-				}
-			}
-			switch {
-			case len(rc.byRank) < size:
-				d := ps.diag(rc.first.node, rc.first.fn,
-					"collective %s is reached by %d of %d ranks (divergent control flow would hang the others)",
-					rc.first.node.Op, len(rc.byRank), size)
-				m[diagKey{node: id}] = d
-			case rc.unequal:
-				d := ps.diag(rc.first.node, rc.first.fn,
-					"collective %s executes a different number of times on different ranks", rc.first.node.Op)
-				m[diagKey{node: id}] = d
-			}
-		}
-		perSize = append(perSize, m)
+		perSize = append(perSize, divergenceFindings(ps, size))
 	}
 	reportAtEverySize(ps, perSize)
+}
+
+// divergenceFindings computes the collective-divergence findings at one
+// communicator size. PF020 intersects them across the default sizes; the
+// symbolic PF032 probes them at witness sizes beyond the enumerated set.
+func divergenceFindings(ps *Pass, size int) map[diagKey]Diagnostic {
+	type reach struct {
+		first   commOp
+		byRank  map[int]float64
+		minR    int
+		unequal bool
+	}
+	coll := map[ir.NodeID]*reach{}
+	for r := 0; r < size; r++ {
+		for _, o := range ps.Comms(r, size) {
+			if !o.node.Op.IsCollective() {
+				continue
+			}
+			id := ir.InfoOf(o.node).ID()
+			rc := coll[id]
+			if rc == nil {
+				rc = &reach{first: o, byRank: map[int]float64{}, minR: r}
+				coll[id] = rc
+			}
+			rc.byRank[r] += o.mult
+		}
+	}
+	m := map[diagKey]Diagnostic{}
+	for id, rc := range coll {
+		var ref float64
+		for _, c := range rc.byRank {
+			ref = c
+			break
+		}
+		for _, c := range rc.byRank {
+			if !closeEnough(c, ref) {
+				rc.unequal = true
+				break
+			}
+		}
+		switch {
+		case len(rc.byRank) < size:
+			d := ps.diag(rc.first.node, rc.first.fn,
+				"collective %s is reached by %d of %d ranks (divergent control flow would hang the others)",
+				rc.first.node.Op, len(rc.byRank), size)
+			m[diagKey{node: id}] = d
+		case rc.unequal:
+			d := ps.diag(rc.first.node, rc.first.fn,
+				"collective %s executes a different number of times on different ranks", rc.first.node.Op)
+			m[diagKey{node: id}] = d
+		}
+	}
+	return m
 }
 
 // runTrivialLoops (PF021): a loop whose trip count is never positive — for

@@ -25,32 +25,40 @@ func init() {
 func runRequests(ps *Pass, code string) {
 	var perSize []map[diagKey]Diagnostic
 	for _, size := range ps.Sizes() {
-		m := map[diagKey]Diagnostic{}
-		for r := 0; r < size; r++ {
-			rw := &reqWalker{ps: ps, rank: r, size: size, code: code,
-				pending: map[string]*ir.Comm{}, onStack: map[string]bool{}}
-			if entry := ps.Prog.Function(ps.Prog.Entry); entry != nil {
-				rw.onStack[entry.Name] = true
-				rw.walk(entry.Body, entry.Name)
-			}
-			for req, node := range rw.pending {
-				if code != "PF010" {
-					continue
-				}
-				d := ps.diag(node, rw.issuedIn[node],
-					"%s request %q is never completed by MPI_Wait or MPI_Waitall", node.Op, req)
-				m[diagKey{node: d.Node, extra: req}] = d
-			}
-			for _, d := range rw.out {
-				k := diagKey{node: d.Node, extra: d.Message}
-				if _, dup := m[k]; !dup {
-					m[k] = d
-				}
-			}
-		}
-		perSize = append(perSize, m)
+		perSize = append(perSize, requestFindings(ps, size, code))
 	}
 	reportAtEverySize(ps, perSize)
+}
+
+// requestFindings computes the request-lifetime findings of one kind at one
+// communicator size. PF010/PF011 intersect them across the default sizes;
+// the symbolic PF031 probes them at witness sizes beyond the enumerated
+// set.
+func requestFindings(ps *Pass, size int, code string) map[diagKey]Diagnostic {
+	m := map[diagKey]Diagnostic{}
+	for r := 0; r < size; r++ {
+		rw := &reqWalker{ps: ps, rank: r, size: size, code: code,
+			pending: map[string]*ir.Comm{}, onStack: map[string]bool{}}
+		if entry := ps.Prog.Function(ps.Prog.Entry); entry != nil {
+			rw.onStack[entry.Name] = true
+			rw.walk(entry.Body, entry.Name)
+		}
+		for req, node := range rw.pending {
+			if code != "PF010" {
+				continue
+			}
+			d := ps.diag(node, rw.issuedIn[node],
+				"%s request %q is never completed by MPI_Wait or MPI_Waitall", node.Op, req)
+			m[diagKey{node: d.Node, extra: req}] = d
+		}
+		for _, d := range rw.out {
+			k := diagKey{node: d.Node, extra: d.Message}
+			if _, dup := m[k]; !dup {
+				m[k] = d
+			}
+		}
+	}
+	return m
 }
 
 // reqWalker follows one rank's execution order, tracking which request

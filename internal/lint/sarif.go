@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 output — the interchange format CI systems and editors
+// ingest natively. Only the slice of the schema the findings need is
+// modeled; the structure follows the OASIS standard field names exactly.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	Name             string    `json:"name"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifText       `json:"message"`
+	Locations        []sarifLocation `json:"locations,omitempty"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifText    `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "note"
+}
+
+func sarifLoc(p Position, msg string) sarifLocation {
+	loc := sarifLocation{PhysicalLocation: sarifPhysical{
+		ArtifactLocation: sarifArtifact{URI: p.File},
+	}}
+	if p.Line > 0 {
+		loc.PhysicalLocation.Region = &sarifRegion{StartLine: p.Line}
+	}
+	if msg != "" {
+		loc.Message = &sarifText{Text: msg}
+	}
+	return loc
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log with one run. The
+// rules table carries every registered analyzer whose code appears in the
+// findings, with its one-line doc; results reference rules by ID.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	used := map[string]bool{}
+	for _, d := range diags {
+		used[d.Code] = true
+	}
+	var rules []sarifRule
+	for _, a := range Analyzers() {
+		if !used[a.Code] {
+			continue
+		}
+		rules = append(rules, sarifRule{
+			ID:               a.Code,
+			Name:             a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:    d.Code,
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{sarifLoc(d.Position, "")},
+		}
+		for _, rel := range d.Related {
+			r.RelatedLocations = append(r.RelatedLocations, sarifLoc(rel.Position, rel.Message))
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "pflow lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

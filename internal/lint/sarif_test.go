@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSARIFGolden pins the exact SARIF 2.1.0 rendering of a fixture with
+// an error, a related location, and a rules table entry.
+func TestSARIFGolden(t *testing.T) {
+	diags := lintFile(t, "../../examples/dsl/bad/deadlock.pfl")
+	var b strings.Builder
+	if err := WriteSARIF(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := "testdata/deadlock.sarif.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run: go test ./internal/lint -update): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("SARIF mismatch\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestSARIFWellFormed asserts structural invariants on a multi-code run:
+// valid JSON, schema/version stamped, one rule per distinct code, and a
+// result level for every severity in play.
+func TestSARIFWellFormed(t *testing.T) {
+	var diags []Diagnostic
+	for _, f := range []string{"deadlock.pfl", "leaked_request.pfl", "pf034.pfl"} {
+		diags = append(diags, lintFile(t, "../../examples/dsl/bad/"+f)...)
+	}
+	var b strings.Builder
+	if err := WriteSARIF(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 and 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "pflow lint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != len(diags) {
+		t.Errorf("results %d, want %d", len(run.Results), len(diags))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, r := range run.Results {
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result references rule %s missing from the rules table", r.RuleID)
+		}
+		if r.Level != "error" && r.Level != "warning" && r.Level != "note" {
+			t.Errorf("bad level %q", r.Level)
+		}
+	}
+}

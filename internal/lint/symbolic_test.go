@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"perflow/internal/ir"
+	"perflow/internal/sdf"
+	"perflow/internal/workloads"
+)
+
+// cleanPrograms returns every built-in workload plus every non-defect DSL
+// example, keyed by a display name.
+func cleanPrograms(t *testing.T) map[string]*ir.Program {
+	t.Helper()
+	out := map[string]*ir.Program{}
+	for _, name := range workloads.Names() {
+		prog, err := workloads.Get(name)
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		out[name] = prog
+	}
+	paths, err := filepath.Glob("../../examples/dsl/*.pfl")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := ir.ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		out["dsl/"+filepath.Base(p)] = prog
+	}
+	return out
+}
+
+// TestSymbolicEnumerationAgree is the differential test of the lint
+// rebase: the symbolic dataflow model's per-rank communication stream must
+// be identical — op for op, peer for peer, multiplicity for multiplicity —
+// to the per-rank enumeration walk, on every built-in workload and example
+// at the enumerated sizes and at 64 (a size the enumeration engine never
+// models by default).
+func TestSymbolicEnumerationAgree(t *testing.T) {
+	for name, prog := range cleanPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			if !prog.Finalized() {
+				if err := prog.FinalizeStructure(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m, err := sdf.New(prog)
+			if err != nil {
+				t.Fatalf("sdf.New: %v", err)
+			}
+			for _, size := range []int{4, 8, 16, 64} {
+				for r := 0; r < size; r++ {
+					sym := modelComms(m, r, size)
+					enum := rankComms(prog, r, size)
+					if !reflect.DeepEqual(sym, enum) {
+						t.Fatalf("rank %d size %d: symbolic stream (%d ops) != enumerated stream (%d ops)",
+							r, size, len(sym), len(enum))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSymbolicFindingsMatchEnumeration asserts that on every clean program
+// the full lint run is byte-identical with the symbolic engine on and off:
+// the rebased analyzers draw the same conclusions from the symbolic stream,
+// and the witness-size analyzers add nothing on defect-free programs.
+func TestSymbolicFindingsMatchEnumeration(t *testing.T) {
+	for name, prog := range cleanPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			sym, err := Run(prog, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enum, err := Run(prog, Options{NoSymbolic: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sym, enum) {
+				t.Fatalf("findings differ with the symbolic engine on/off:\nsymbolic: %v\nenumerated: %v", sym, enum)
+			}
+		})
+	}
+}
+
+// TestSymbolicPlantedDefects pins, for each PF030–PF036 fixture, that the
+// symbolic engine reports the planted code at the planted position — and
+// that the pre-symbolic enumeration engine (Options.NoSymbolic) finds
+// NOTHING in the same file. That is the regression guarantee of the
+// symbolic layer: every one of these defects is provably invisible to the
+// old engine.
+func TestSymbolicPlantedDefects(t *testing.T) {
+	cases := []struct {
+		fixture string
+		code    string
+		pos     string
+	}{
+		{"pf030.pfl", "PF030", "wild.c:6"},
+		{"pf031.pfl", "PF031", "reuse.c:4"},
+		{"pf032.pfl", "PF032", "diverge.c:3"},
+		{"pf033.pfl", "PF033", "imbalance.c:4"},
+		{"pf034.pfl", "PF034", "barrier.c:4"},
+		{"pf035.pfl", "PF035", "vol.c:3"},
+		{"pf036.pfl", "PF036", "sizedep.c:3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			path := filepath.Join("..", "..", "examples", "dsl", "bad", tc.fixture)
+			parse := func() *ir.Program {
+				f, err := os.Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				prog, err := ir.ParseLenient(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return prog
+			}
+
+			diags, err := Run(parse(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, d := range diags {
+				if d.Code == tc.code && d.Position.String() == tc.pos {
+					found = true
+				}
+				if d.Code < "PF030" {
+					t.Errorf("unexpected pre-symbolic finding %s at %s: %s", d.Code, d.Position, d.Message)
+				}
+			}
+			if !found {
+				t.Errorf("want %s at %s; got %v", tc.code, tc.pos, diags)
+			}
+
+			old, err := Run(parse(), Options{NoSymbolic: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(old) != 0 {
+				t.Errorf("the enumeration engine should find nothing in %s; got %v", tc.fixture, old)
+			}
+		})
+	}
+}
+
+// TestWildcardPoolMatching covers the matcher's MPI_ANY_SOURCE semantics
+// directly: a send absorbed by a wildcard pool is not an unmatched channel,
+// a wildcard receive with no candidate sender anywhere is, and a payload
+// disagreement between a send and the absorbing pool is a PF014.
+func TestWildcardPoolMatching(t *testing.T) {
+	lintSrc := func(t *testing.T, src string) []Diagnostic {
+		t.Helper()
+		prog, err := ir.ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Run(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+	header := "program wildpool\nfunc main file wp.c line 1\n"
+
+	// Absorbed: rank 1 sends to rank 0, rank 0 receives from any source.
+	clean := lintSrc(t, header+`
+  branch sender line 2 taken 0 add 1:1
+    mpi send line 3 to rank0 bytes 64 tag 1
+  end
+  branch root line 5 taken 0 add 0:1
+    mpi recv line 6 to any bytes 64 tag 1
+  end
+end`)
+	for _, d := range clean {
+		if d.Code == "PF012" {
+			t.Errorf("absorbed send reported as unmatched: %s", d.Message)
+		}
+	}
+
+	// Orphan wildcard: nobody sends under tag 9 at all.
+	orphan := lintSrc(t, header+`
+  branch root line 2 taken 0 add 0:1
+    mpi recv line 3 to any bytes 64 tag 9
+  end
+end`)
+	if !hasCode(orphan, "PF012") {
+		t.Errorf("wildcard receive with no candidate send must be PF012; got %v", orphan)
+	}
+
+	// Size skew: the pool posts 32 bytes for a 64-byte send.
+	skew := lintSrc(t, header+`
+  branch sender line 2 taken 0 add 1:1
+    mpi send line 3 to rank0 bytes 64 tag 1
+  end
+  branch root line 5 taken 0 add 0:1
+    mpi recv line 6 to any bytes 32 tag 1
+  end
+end`)
+	if !hasCode(skew, "PF014") {
+		t.Errorf("payload skew against the wildcard pool must be PF014; got %v", skew)
+	}
+}
+
+func hasCode(diags []Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,12 +1,22 @@
 package lint
 
-import "perflow/internal/ir"
+import (
+	"perflow/internal/ir"
+	"perflow/internal/sdf"
+)
 
 // eagerThreshold mirrors mpisim's default: sends at or below this many
 // bytes complete eagerly, larger sends rendezvous and block until the
 // receive is posted. The deadlock analyzer uses it to decide which sends
 // can participate in a blocking cycle.
 const eagerThreshold = 4096
+
+// wildAny marks a receive posted with MPI_ANY_SOURCE: unlike an unresolved
+// peer (-1, which analyzers skip as PF002 territory), a wildcard is a
+// deliberate pattern that matches a send from any rank. The matcher treats
+// wildcard receives as a per-(destination, tag) pool that absorbs otherwise
+// unmatched sends.
+const wildAny = -2
 
 // commOp is one communication operation as one rank executes it, resolved
 // statically: peers, branch conditions, and loop trip counts are all
@@ -46,7 +56,11 @@ func rankComms(prog *ir.Program, rank, nranks int) []commOp {
 						bytes: x.Bytes.Value(rank, nranks)}
 					switch op {
 					case ir.CommSend, ir.CommRecv, ir.CommIsend, ir.CommIrecv:
-						o.peer = peer.Resolve(rank, nranks)
+						if peer.Kind == ir.PeerAny {
+							o.peer = wildAny
+						} else {
+							o.peer = peer.Resolve(rank, nranks)
+						}
 					}
 					out = append(out, o)
 				}
@@ -81,6 +95,35 @@ func rankComms(prog *ir.Program, rank, nranks int) []commOp {
 		}
 	}
 	walk(entry.Body, entry.Name, 1)
+	return out
+}
+
+// modelComms derives the same per-rank communication sequence from the
+// symbolic dataflow model: instead of re-walking the IR per rank, each
+// symbolic event's closed-form guard, trip product, peer, and payload are
+// evaluated at (rank, nranks). On any program the model summarizes exactly
+// (acyclic static call graph), the stream is identical to rankComms —
+// TestSymbolicEnumerationAgree pins that equivalence over every built-in
+// workload and example at several sizes.
+func modelComms(m *sdf.Model, rank, nranks int) []commOp {
+	var out []commOp
+	for _, ev := range m.Events {
+		w := ev.Weight(rank, nranks)
+		if w == 0 {
+			continue
+		}
+		o := commOp{node: ev.Node, op: ev.Op, fn: ev.Fn, peer: -1, mult: w,
+			bytes: ev.Bytes(rank, nranks)}
+		switch ev.Op {
+		case ir.CommSend, ir.CommRecv, ir.CommIsend, ir.CommIrecv:
+			if ev.Peer.Kind == ir.PeerAny {
+				o.peer = wildAny
+			} else {
+				o.peer = ev.Peer.Resolve(rank, nranks)
+			}
+		}
+		out = append(out, o)
+	}
 	return out
 }
 

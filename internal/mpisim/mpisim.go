@@ -197,6 +197,7 @@ func RunCtx(ctx context.Context, p *ir.Program, cfg Config) (*trace.Run, error) 
 		cfg: cfg, prog: p, cct: cct, ranks: ranks,
 		sends:   map[chanKey][]*message{},
 		recvs:   map[chanKey][]*recvPost{},
+		wilds:   map[wildKey][]*recvPost{},
 		status:  make([]trace.RankStatus, cfg.NRanks),
 		dropSeq: map[chanKey]int{},
 	}
@@ -400,6 +401,15 @@ func (f *flattener) node(n ir.Node, ctx trace.CtxID, mult float64) error {
 		o.peer = -1
 		switch x.Op {
 		case ir.CommSend, ir.CommRecv, ir.CommIsend, ir.CommIrecv:
+			if x.Peer.Kind == ir.PeerAny {
+				switch x.Op {
+				case ir.CommRecv, ir.CommIrecv:
+					o.peer = anySource
+				default:
+					return fmt.Errorf("mpisim: rank %d: %s at %s cannot use the wildcard peer", f.rank, x.Op, x.Debug())
+				}
+				break
+			}
 			o.peer = x.Peer.Resolve(f.rank, f.nranks)
 			if o.peer < 0 {
 				return fmt.Errorf("mpisim: rank %d: %s at %s has no resolvable peer", f.rank, x.Op, x.Debug())
@@ -442,6 +452,16 @@ func (f *flattener) node(n ir.Node, ctx trace.CtxID, mult float64) error {
 
 type chanKey struct {
 	src, dst, tag int
+}
+
+// anySource is the sentinel peer of a wildcard receive (MPI_ANY_SOURCE,
+// the DSL's `to any`). Wildcard receives match outside the per-channel
+// FIFOs: see matchWild for the deterministic matching rule.
+const anySource = -2
+
+// wildKey identifies the wildcard-receive queue of one (receiver, tag).
+type wildKey struct {
+	dst, tag int
 }
 
 // message is a posted send.
@@ -545,6 +565,9 @@ type world struct {
 	ranks []*rankState
 	sends map[chanKey][]*message
 	recvs map[chanKey][]*recvPost
+	// wilds holds posted wildcard receives (peer == anySource) per
+	// (receiver, tag), in posting order.
+	wilds map[wildKey][]*recvPost
 	colls []*collective
 	syncs []trace.SyncEdge
 
@@ -843,10 +866,16 @@ func (w *world) stepComm(rs *rankState, o *op) bool {
 		if wait < 0 {
 			wait = 0
 		}
+		// A wildcard receive learns its actual source at match time; record
+		// it so traces attribute the message to the real sender.
+		peer := o.peer
+		if peer == anySource && rp.msg != nil {
+			peer = rp.msg.srcRank
+		}
 		rs.emit(trace.Event{
 			Rank: int32(rs.rank), Thread: -1, Kind: trace.KindComm, Op: o.commOp,
 			Node: o.node, Ctx: o.ctx, Start: rp.postTime, End: end, Wait: wait,
-			Peer: int32(o.peer), Bytes: o.bytes,
+			Peer: int32(peer), Bytes: o.bytes,
 		}, w.cfg)
 		if rp.msg != nil {
 			w.syncs = append(w.syncs, trace.SyncEdge{
@@ -882,10 +911,14 @@ func (w *world) stepComm(rs *rankState, o *op) bool {
 		if t > rs.clock {
 			rs.clock = t
 		}
+		waitPeer := rq.peer
+		if waitPeer == anySource && rq.rp != nil && rq.rp.msg != nil {
+			waitPeer = rq.rp.msg.srcRank
+		}
 		rs.emit(trace.Event{
 			Rank: int32(rs.rank), Thread: -1, Kind: trace.KindComm, Op: o.commOp,
 			Node: o.node, Ctx: o.ctx, Start: start, End: rs.clock,
-			Wait: rs.clock - start, Peer: int32(rq.peer), Bytes: rq.bytes,
+			Wait: rs.clock - start, Peer: int32(waitPeer), Bytes: rq.bytes,
 		}, w.cfg)
 		w.recordRequestSync(rs, o.node, rq, start)
 		rs.requests[o.req] = reqs[1:]
@@ -1062,14 +1095,22 @@ func (w *world) postSend(rs *rankState, o *op) *message {
 	}
 	w.sends[k] = append(w.sends[k], msg)
 	w.match(k)
+	w.matchWild(k.dst, k.tag)
 	return msg
 }
 
 // postRecv deposits a receive into the channel and matches FIFO if a send
-// is already posted.
+// is already posted. A wildcard receive (o.peer == anySource) goes to the
+// per-(receiver, tag) wildcard queue instead of a concrete channel.
 func (w *world) postRecv(rs *rankState, o *op) *recvPost {
-	k := chanKey{src: o.peer, dst: rs.rank, tag: o.tag}
 	rp := &recvPost{postTime: rs.clock, dstRank: rs.rank, dstNode: o.node}
+	if o.peer == anySource {
+		wk := wildKey{dst: rs.rank, tag: o.tag}
+		w.wilds[wk] = append(w.wilds[wk], rp)
+		w.matchWild(rs.rank, o.tag)
+		return rp
+	}
+	k := chanKey{src: o.peer, dst: rs.rank, tag: o.tag}
 	w.recvs[k] = append(w.recvs[k], rp)
 	w.match(k)
 	return rp
@@ -1082,33 +1123,71 @@ func (w *world) match(k chanKey) {
 	for len(ss) > 0 && len(rr) > 0 {
 		msg, rp := ss[0], rr[0]
 		ss, rr = ss[1:], rr[1:]
-		msg.matchedRecv = rp
-		rp.msg = msg
-		if msg.eager {
-			// Payload already in flight; receive completes when both the
-			// payload has arrived and the receive was posted.
-			c := msg.arrival
-			if rp.postTime > c {
-				c = rp.postTime
-			}
-			rp.completion = c
-			rp.matched = true
-			msg.completion = msg.postTime // sender side completed long ago
-			msg.matched = true
-		} else {
-			// Rendezvous: the transfer starts when both sides are present.
-			startT := msg.postTime
-			if rp.postTime > startT {
-				startT = rp.postTime
-			}
-			c := startT + w.cfg.transfer(msg.bytes)
-			msg.completion = c
-			msg.matched = true
-			rp.completion = c
-			rp.matched = true
-		}
+		w.matchPair(msg, rp)
 	}
 	w.sends[k], w.recvs[k] = ss, rr
+}
+
+// matchWild pairs wildcard receives of (dst, tag) with posted sends. The
+// matching rule is deterministic so replays and reports are stable: each
+// wildcard receive takes the unmatched send with the EARLIEST post time
+// among all sources, ties broken by the lowest source rank. Concrete
+// receives on a channel still have priority — match(k) runs before
+// matchWild at every send post — so a wildcard only consumes sends no
+// concrete receive was waiting for.
+func (w *world) matchWild(dst, tag int) {
+	wk := wildKey{dst: dst, tag: tag}
+	for len(w.wilds[wk]) > 0 {
+		var bestK chanKey
+		found := false
+		for k, ss := range w.sends {
+			if k.dst != dst || k.tag != tag || len(ss) == 0 {
+				continue
+			}
+			if !found || ss[0].postTime < w.sends[bestK][0].postTime ||
+				(ss[0].postTime == w.sends[bestK][0].postTime && k.src < bestK.src) {
+				bestK, found = k, true
+			}
+		}
+		if !found {
+			return
+		}
+		rp := w.wilds[wk][0]
+		w.wilds[wk] = w.wilds[wk][1:]
+		msg := w.sends[bestK][0]
+		w.sends[bestK] = w.sends[bestK][1:]
+		w.matchPair(msg, rp)
+	}
+}
+
+// matchPair computes the completion times of one newly matched send/receive
+// pair. Both sides must already be removed from their queues.
+func (w *world) matchPair(msg *message, rp *recvPost) {
+	msg.matchedRecv = rp
+	rp.msg = msg
+	if msg.eager {
+		// Payload already in flight; receive completes when both the
+		// payload has arrived and the receive was posted.
+		c := msg.arrival
+		if rp.postTime > c {
+			c = rp.postTime
+		}
+		rp.completion = c
+		rp.matched = true
+		msg.completion = msg.postTime // sender side completed long ago
+		msg.matched = true
+	} else {
+		// Rendezvous: the transfer starts when both sides are present.
+		startT := msg.postTime
+		if rp.postTime > startT {
+			startT = rp.postTime
+		}
+		c := startT + w.cfg.transfer(msg.bytes)
+		msg.completion = c
+		msg.matched = true
+		rp.completion = c
+		rp.matched = true
+	}
 }
 
 // Speedup computes T(base)/T(run) from two runs of the same program,

@@ -1,0 +1,124 @@
+package sdf
+
+import (
+	"sort"
+
+	"perflow/internal/ir"
+)
+
+// CostParams weight the static cost model's three terms: a rank's
+// predicted time is Compute + Alpha·Messages + Beta·Bytes. The defaults
+// mirror the simulator's network model (transfer time = Latency + b/
+// Bandwidth with Latency 2 µs and Bandwidth 10000 bytes/µs), so the
+// prediction is on the simulator's scale even though it ignores queueing
+// and wait chains — it is a lower bound, not a replay.
+type CostParams struct {
+	Alpha float64 // µs per message (network latency term)
+	Beta  float64 // µs per byte (inverse bandwidth term)
+}
+
+// DefaultCostParams returns weights matched to the simulator defaults.
+func DefaultCostParams() CostParams {
+	return CostParams{Alpha: 2, Beta: 1.0 / 10000}
+}
+
+// RankCost is the static cost decomposition of one rank at one size.
+type RankCost struct {
+	Compute float64 // compute units (µs): computes, external calls, lock/alloc holds, kernels
+	Msgs    float64 // messages originated: sends plus collective participations
+	Bytes   float64 // bytes originated
+	Total   float64 // Compute + Alpha·Msgs + Beta·Bytes
+}
+
+// CostSummary is the whole-program static cost picture at one size: the
+// per-rank vector, the critical path (the slowest rank's predicted time —
+// with no wait modeling, any schedule is bounded below by it), and the
+// load-imbalance ratio max/mean, the paper's imbalance metric, here
+// available before any rank runs.
+type CostSummary struct {
+	NRanks       int
+	PerRank      []RankCost
+	CriticalPath float64 // max over ranks of Total
+	CritRank     int     // rank achieving it (lowest index on ties)
+	Mean         float64 // mean of Total over ranks
+	Imbalance    float64 // CriticalPath / Mean; 1 = perfectly balanced
+}
+
+// RankCost evaluates the symbolic cost model for one rank.
+func (m *Model) RankCost(rank, nranks int, p CostParams) RankCost {
+	var rc RankCost
+	for _, c := range m.Costs {
+		rc.Compute += c.Value(rank, nranks)
+	}
+	for _, ev := range m.Events {
+		if !sendSide(ev) {
+			continue
+		}
+		count := ev.Count(rank, nranks)
+		if count <= 0 {
+			continue
+		}
+		rc.Msgs += count
+		rc.Bytes += count * ev.Bytes(rank, nranks)
+	}
+	rc.Total = rc.Compute + p.Alpha*rc.Msgs + p.Beta*rc.Bytes
+	return rc
+}
+
+// Cost evaluates the model at one communicator size.
+func (m *Model) Cost(nranks int, p CostParams) CostSummary {
+	s := CostSummary{NRanks: nranks, PerRank: make([]RankCost, nranks)}
+	sum := 0.0
+	for rank := 0; rank < nranks; rank++ {
+		rc := m.RankCost(rank, nranks, p)
+		s.PerRank[rank] = rc
+		sum += rc.Total
+		if rc.Total > s.CriticalPath {
+			s.CriticalPath = rc.Total
+			s.CritRank = rank
+		}
+	}
+	if nranks > 0 {
+		s.Mean = sum / float64(nranks)
+	}
+	if s.Mean > 0 {
+		s.Imbalance = s.CriticalPath / s.Mean
+	}
+	return s
+}
+
+// FnCost is one function's aggregate compute contribution across all ranks.
+type FnCost struct {
+	Fn      string
+	Compute float64
+}
+
+// FunctionCosts sums compute units per defining function across all ranks
+// at one size, sorted by descending contribution (ties by name) — the
+// static analogue of a profile's hotspot table.
+func (m *Model) FunctionCosts(nranks int) []FnCost {
+	byFn := map[string]float64{}
+	for _, c := range m.Costs {
+		for rank := 0; rank < nranks; rank++ {
+			byFn[c.Fn] += c.Value(rank, nranks)
+		}
+	}
+	out := make([]FnCost, 0, len(byFn))
+	for fn, v := range byFn {
+		out = append(out, FnCost{Fn: fn, Compute: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Compute != out[j].Compute {
+			return out[i].Compute > out[j].Compute
+		}
+		return out[i].Fn < out[j].Fn
+	})
+	return out
+}
+
+// sendSide reports whether the event originates traffic: a send half or a
+// collective participation. Receives and waits are the other end of
+// already-counted traffic.
+func sendSide(ev *Event) bool {
+	return ev.Op == ir.CommSend || ev.Op == ir.CommIsend || ev.Op.IsCollective()
+}

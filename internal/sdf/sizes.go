@@ -1,0 +1,126 @@
+package sdf
+
+import (
+	"sort"
+
+	"perflow/internal/ir"
+)
+
+// Witness-size search bounds. Sizes outside [minWitness, maxWitness] are
+// discarded: below 2 there is no communication, and above 128 the IR's
+// expression forms introduce no new behavior that a smaller size in the
+// candidate set has not already exposed.
+const (
+	minWitness = 2
+	maxWitness = 128
+)
+
+// baseWitnessSizes are always probed: they cover odd, non-power-of-two,
+// perfect-square and large-power-of-two communicators, all beyond or beside
+// the enumeration engine's fixed {4, 8, 16}.
+var baseWitnessSizes = []int{3, 6, 12, 25, 64}
+
+// WitnessSizes derives the communicator sizes worth probing symbolically
+// for a program: every size at which some expression or peer pattern in
+// the IR changes behavior. The candidates come from the closed forms
+// themselves — per-rank Factor/Add map keys (a rank-k special case needs
+// size > k to exist), FactorLowCount boundaries, slope zero crossings
+// (where a guard or trip count changes sign), constant and XOR peers —
+// plus the fixed base set. The result is deduplicated, clamped to
+// [2, 128], and sorted. This is the engine's answer to "which sizes could
+// possibly matter?": finite, small, and derived rather than guessed.
+func WitnessSizes(prog *ir.Program) []int {
+	seen := map[int]bool{}
+	add := func(n int) {
+		if n >= minWitness && n <= maxWitness {
+			seen[n] = true
+		}
+	}
+	for _, n := range baseWitnessSizes {
+		add(n)
+	}
+
+	addExpr := func(e ir.Expr) {
+		for k := range e.Factor {
+			add(k + 1)
+			add(k + 2)
+		}
+		for k := range e.Add {
+			add(k + 1)
+			add(k + 2)
+		}
+		if e.FactorLowRanks != 0 && e.FactorLowCount > 0 {
+			add(e.FactorLowCount)
+			add(e.FactorLowCount + 1)
+		}
+		if e.Slope != 0 {
+			// The affine part Base + Slope*rank changes sign at rank
+			// -Base/Slope; the first size where a rank on each side of the
+			// crossing exists is a behavior boundary.
+			r := -e.Base / e.Slope
+			if r > 0 && r < float64(maxWitness) {
+				add(int(r) + 1)
+				add(int(r) + 2)
+			}
+		}
+	}
+	addPeer := func(p ir.Peer) {
+		switch p.Kind {
+		case ir.PeerConst:
+			add(p.Arg + 1)
+			add(p.Arg + 2)
+		case ir.PeerXor:
+			// rank^Arg is in range only when the communicator covers the
+			// flipped bits; the first interesting sizes are just past Arg and
+			// the enclosing power of two.
+			add(p.Arg + 1)
+			add(nextPow2(p.Arg + 1))
+		case ir.PeerRight, ir.PeerLeft:
+			if p.Arg > 1 {
+				add(p.Arg + 1)
+				add(2 * p.Arg)
+			}
+		}
+	}
+
+	prog.Walk(func(n, _ ir.Node) {
+		switch x := n.(type) {
+		case *ir.Loop:
+			addExpr(x.Trips)
+		case *ir.Branch:
+			addExpr(x.Taken)
+		case *ir.Comm:
+			addExpr(x.Bytes)
+			addPeer(x.Peer)
+		case *ir.Compute:
+			addExpr(x.Cost)
+		case *ir.Call:
+			if x.External || x.Indirect {
+				addExpr(x.Cost)
+			}
+		case *ir.Mutex:
+			addExpr(x.Count)
+			addExpr(x.Hold)
+		case *ir.Alloc:
+			addExpr(x.Count)
+			addExpr(x.Hold)
+		case *ir.Kernel:
+			addExpr(x.Cost)
+		}
+	})
+
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,112 @@
+package sdf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perflow/internal/ir"
+)
+
+// ExprString renders a closed-form expression in plain ASCII with rank
+// spelled r and communicator size spelled P, e.g. "(100+2*r)/P" or
+// "8192 *{0:10}". The output is for reports: compact, deterministic, and
+// evaluable by a human at any (r, P).
+func ExprString(e ir.Expr) string {
+	var core string
+	switch {
+	case e.Slope == 0:
+		core = trim(e.Base)
+	case e.Base == 0:
+		core = trim(e.Slope) + "*r"
+	default:
+		core = "(" + trim(e.Base) + "+" + trim(e.Slope) + "*r)"
+	}
+	switch e.Scaling {
+	case ir.ScaleInvP:
+		core += "/P"
+	case ir.ScaleInvSqrt:
+		core += "/sqrt(P)"
+	case ir.ScaleLogP:
+		core += "*log2(P)"
+	}
+	if e.FactorLowRanks != 0 {
+		core += fmt.Sprintf(" *%s[r<%d]", trim(e.FactorLowRanks), e.FactorLowCount)
+	}
+	if len(e.Factor) > 0 {
+		core += " *" + rankMap(e.Factor)
+	}
+	if len(e.Add) > 0 {
+		core += " +" + rankMap(e.Add)
+	}
+	return core
+}
+
+// CountString renders an event's symbolic execution count under simulator
+// semantics: the product of floor(trips) over comm-per-iter loops, with
+// guard conditions and liveness-only loops appended as bracketed side
+// conditions. Example: "floor(6) [if (1+0*r) *{0:0}!=0]".
+func (e *Event) CountString() string {
+	var factors []string
+	var conds []string
+	for _, l := range e.Loops {
+		if l.CommPerIter {
+			factors = append(factors, "floor("+ExprString(l.Trips)+")")
+		} else {
+			conds = append(conds, ExprString(l.Trips)+">0")
+		}
+	}
+	for _, g := range e.Guards {
+		conds = append(conds, ExprString(g.Taken)+"!=0")
+	}
+	count := "1"
+	if len(factors) > 0 {
+		count = strings.Join(factors, "*")
+	}
+	if len(conds) > 0 {
+		count += " [if " + strings.Join(conds, " && ") + "]"
+	}
+	return count
+}
+
+// SymbolicComms renders the model's communication structure as closed-form
+// rows, one per send-side or collective event: position, operation, peer
+// pattern, symbolic count, symbolic payload. This is the matrix before a
+// size is chosen — evaluable at any P.
+func (m *Model) SymbolicComms() []string {
+	var out []string
+	for _, ev := range m.Events {
+		if !sendSide(ev) {
+			continue
+		}
+		pos := ev.Fn
+		if d := ir.InfoOf(ev.Node).Debug(); d != "" {
+			pos = d
+		}
+		peer := ""
+		if !ev.Op.IsCollective() {
+			peer = " -> " + ev.Peer.String()
+		}
+		out = append(out, fmt.Sprintf("%s: %s%s  count=%s  bytes=%s",
+			pos, ev.Op, peer, ev.CountString(), ExprString(ev.Node.Bytes)))
+	}
+	return out
+}
+
+func rankMap(m map[int]float64) string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = strconv.Itoa(k) + ":" + trim(m[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func trim(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

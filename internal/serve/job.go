@@ -73,6 +73,15 @@ type JobResult struct {
 	// succeeded — the result stays cacheable — but the submitted policy
 	// rejected it, the serve-side analogue of `pflow gate`'s exit code 3.
 	GateFailed bool `json:"gate_failed,omitempty"`
+	// Prediction is the rendered "-- static prediction --" section: the
+	// symbolic dataflow engine's static communication matrix and cost
+	// model cross-checked against the collected run. It is delivered here
+	// rather than inlined in Report because AnalysisRequest.Predict is
+	// cache-key-neutral: the section is a pure function of key fields, so
+	// it is computed for every job and the cached Report bytes stay
+	// identical whether or not the submitter asked for it. Empty when the
+	// engine cannot summarize the program exactly.
+	Prediction string `json:"prediction,omitempty"`
 }
 
 // Job is one submitted analysis with its lifecycle state. Mutable fields

@@ -382,6 +382,12 @@ func (s *Server) execute(ctx context.Context, req SubmitRequest) (resultJSON []b
 	pf := perflow.New()
 	started := time.Now()
 
+	// Predict never inlines into a served report: the option is excluded
+	// from the cache key, so the Report bytes must not depend on it. The
+	// section is delivered through JobResult.Prediction instead, computed
+	// for every job from key fields only.
+	req.Predict = false
+
 	var report bytes.Buffer
 	outcome, err := pf.ExecuteRequest(ctx, req.AnalysisRequest, &report)
 	if err != nil {
@@ -397,6 +403,11 @@ func (s *Server) execute(ctx context.Context, req SubmitRequest) (resultJSON []b
 	result.Violations = outcome.Violations
 	if result.Violations == nil {
 		result.Violations = []perflow.PolicyViolation{}
+	}
+	if outcome.Prediction != nil {
+		var pb bytes.Buffer
+		outcome.Prediction.WriteComparison(&pb, outcome.Result)
+		result.Prediction = pb.String()
 	}
 	if outcome.Set != nil {
 		result.Sets = append(result.Sets, core.BuildJSONReport(req.Analysis, outcome.Set))

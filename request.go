@@ -46,6 +46,15 @@ type AnalysisRequest struct {
 	// Planned and unplanned runs produce byte-identical reports, so, like
 	// Parallelism, it is excluded from the cache key.
 	NoPlan bool `json:"no_plan,omitempty"`
+	// Predict appends a "-- static prediction --" section to the report:
+	// the symbolic dataflow engine's statically derived communication
+	// matrix and cost model, cross-checked against the collected run with
+	// divergences flagged. The prediction is a pure function of fields
+	// already in the cache key (program, ranks, faults), so, like
+	// Parallelism and NoPlan, Predict itself is excluded from the key;
+	// the serve layer delivers the section through a dedicated result
+	// field instead of the cached report text (see serve.JobResult).
+	Predict bool `json:"predict,omitempty"`
 	// SkipLint disables the static diagnostics gate before simulation.
 	// It changes results (lint attachments), so it is part of the key.
 	SkipLint bool `json:"skip_lint,omitempty"`
@@ -201,6 +210,12 @@ type AnalysisOutcome struct {
 	// GateFailed reports an error-severity violation — "analysis ok, gate
 	// failed", the state cmd/pflow maps to its dedicated exit code.
 	GateFailed bool
+	// Prediction is the symbolic dataflow engine's static model of the
+	// request's program at the primary scale. Always populated when the
+	// engine can summarize the program exactly (nil for e.g. recursive
+	// call graphs); the report section it renders is only inlined when
+	// the request set Predict.
+	Prediction *Prediction
 }
 
 // ExecuteRequest runs one canonical request end to end — collection (one
@@ -266,6 +281,18 @@ func (pf *PerFlow) ExecuteRequest(ctx context.Context, req AnalysisRequest, w io
 
 	if out.Set, err = pf.AnalyzeCtx(ctx, out.Result, out.Large, req.Analysis, req.Top, w); err != nil {
 		return nil, err
+	}
+	// The static prediction rides behind every analysis: derived from the
+	// IR alone, cross-checked here against what the run actually did. A
+	// program the symbolic engine cannot summarize exactly predicts
+	// nothing rather than something wrong.
+	if pred, perr := Predict(out.Result.Run.Program, req.Ranks); perr == nil {
+		out.Prediction = pred
+		if req.Predict {
+			pred.WriteComparison(w, out.Result)
+		}
+	} else if req.Predict {
+		fmt.Fprintf(w, "-- static prediction --\nunavailable: %v\n", perr)
 	}
 	if out.Large != nil {
 		out.Diff = Diff(out.Result, out.Large)
