@@ -12,7 +12,8 @@
 //	pflow-bench loc                 # §5.3 implementation-effort comparison
 //	pflow-bench ablations           # DESIGN.md ablation studies
 //	pflow-bench ae                  # the paper's artifact-evaluation checks (A.3)
-//	pflow-bench all                 # everything above
+//	pflow-bench serve               # sharded job-server load benchmark (BENCH_PR9.json)
+//	pflow-bench all                 # everything above (except serve)
 //
 // Flags adjust the scales (defaults mirror the paper where laptop-feasible:
 // 128 ranks for the tables, 16 -> 1024 for case A).
@@ -35,6 +36,8 @@ func main() {
 		caseCRanks = flag.Int("casec-ranks", 8, "case C rank count (paper: 8)")
 		compRanks  = flag.Int("compare-ranks", 128, "comparison rank count (paper: 128)")
 		locFile    = flag.String("loc-example", "examples/scalability/main.go", "example file for the LoC count")
+		serveOut   = flag.String("serve-out", "BENCH_PR9.json", "output path for the serve load benchmark")
+		serveJobs  = flag.Int("serve-jobs", 300, "jobs per serve benchmark scenario")
 	)
 	flag.Parse()
 	cmd := "all"
@@ -141,6 +144,13 @@ func main() {
 		experiments.WriteParallelViewScaling(out, pv)
 	}
 
+	runServe := func() {
+		section("serve load benchmark")
+		if err := runServeBench(out, *serveOut, *serveJobs); err != nil {
+			fail(err)
+		}
+	}
+
 	switch cmd {
 	case "table1":
 		runTable1()
@@ -160,6 +170,8 @@ func main() {
 		runAblations()
 	case "ae":
 		runAE()
+	case "serve":
+		runServe()
 	case "all":
 		runAE()
 		runTable1()

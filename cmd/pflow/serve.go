@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"perflow/internal/serve"
+	"perflow/internal/serve/store"
 )
 
 // runServe implements the "pflow serve" subcommand: the long-running
@@ -23,27 +24,56 @@ import (
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr         = fs.String("addr", ":7077", "listen address")
-		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size")
-		queueDepth   = fs.Int("queue", 64, "job queue depth; submissions beyond it get 429")
-		cacheMB      = fs.Int("cache-mb", 64, "result cache byte budget in MiB")
-		jobTimeout   = fs.Duration("job-timeout", 60*time.Second, "per-job run timeout (requests may only lower it)")
-		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight jobs")
-		pprofOn      = fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
+		addr          = fs.String("addr", ":7077", "listen address")
+		shards        = fs.Int("shards", 1, "worker shards; jobs are routed by hashing their content address")
+		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "analysis workers per shard")
+		queueDepth    = fs.Int("queue", 64, "per-shard queue depth; submissions beyond it get 429")
+		storeSpec     = fs.String("store", "memory", `result store: "memory" or "disk:<dir>" (shared, survives restarts)`)
+		cacheMB       = fs.Int("cache-mb", 64, "result store byte budget in MiB")
+		authFile      = fs.String("auth-file", "", `tenant declarations JSON ({"tenants": [{"name", "key", "quota", "weight"}]}); empty disables auth`)
+		auditInterval = fs.Duration("audit-interval", 0, "background audit period re-executing sampled cached entries (0 disables)")
+		auditSample   = fs.Int("audit-sample", 8, "cached entries re-executed per audit cycle")
+		jobTimeout    = fs.Duration("job-timeout", 60*time.Second, "per-job run timeout (requests may only lower it)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight jobs")
+		pprofOn       = fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pflow serve [-addr :7077] [-workers N] [-queue N] [-cache-mb N] [-job-timeout D] [-pprof]")
+		fmt.Fprintln(os.Stderr, "usage: pflow serve [-addr :7077] [-shards N] [-workers N] [-queue N] [-store memory|disk:DIR] [-cache-mb N] [-auth-file F] [-audit-interval D] [-job-timeout D] [-pprof]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
 
-	srv := serve.New(serve.Options{
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		CacheBytes:  int64(*cacheMB) << 20,
-		JobTimeout:  *jobTimeout,
-		EnablePprof: *pprofOn,
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pflow serve:", err)
+		os.Exit(1)
+	}
+
+	st, err := store.Open(*storeSpec, int64(*cacheMB)<<20)
+	if err != nil {
+		fail(err)
+	}
+	var tenants []serve.TenantConfig
+	if *authFile != "" {
+		tenants, err = serve.LoadAuthFile(*authFile)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	srv, err := serve.NewServer(serve.Options{
+		Shards:        *shards,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		Store:         st,
+		Tenants:       tenants,
+		AuditInterval: *auditInterval,
+		AuditSample:   *auditSample,
+		JobTimeout:    *jobTimeout,
+		EnablePprof:   *pprofOn,
 	})
+	if err != nil {
+		fail(err)
+	}
 	expvar.Publish("perflow_serve", srv.Metrics())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -52,13 +82,12 @@ func runServe(args []string) {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "pflow serve: listening on %s (%d workers, queue %d, cache %d MiB)\n",
-		*addr, *workers, *queueDepth, *cacheMB)
+	fmt.Fprintf(os.Stderr, "pflow serve: listening on %s (%d shards x %d workers, queue %d, store %s, %d tenants)\n",
+		*addr, *shards, *workers, *queueDepth, *storeSpec, len(tenants))
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "pflow serve:", err)
-		os.Exit(1)
+		fail(err)
 	case <-ctx.Done():
 	}
 	stop()

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+
+	"perflow"
+)
+
+// The background audit loop is the server's drift detector, after the
+// audit controller in OPA Gatekeeper: cached results were produced by
+// whatever engine version was running when they were stored, so a
+// long-lived cache can keep serving conclusions the current engine would
+// no longer reach. Each cycle re-executes a rotating sample of cached
+// entries against the current engine and compares the deterministic
+// sections of the result; a mismatch is flagged on /v1/audit, counted in
+// /metrics, and the stale entry is evicted so the next submission
+// recomputes it.
+
+// auditRecord is one flagged entry.
+type auditRecord struct {
+	// Key is the drifted entry's content address.
+	Key string `json:"key"`
+	// Analysis names the drifted request's analysis, for triage.
+	Analysis string `json:"analysis"`
+	// Fields lists which result sections diverged (report, sets, diff,
+	// violations, gate_failed, prediction).
+	Fields []string `json:"fields"`
+	// DetectedAt is when the audit cycle flagged it.
+	DetectedAt time.Time `json:"detected_at"`
+}
+
+// AuditSummary reports one audit cycle.
+type AuditSummary struct {
+	Checked int `json:"checked"`
+	Drifted int `json:"drifted"`
+	Errors  int `json:"errors"`
+}
+
+// auditState accumulates audit results across cycles.
+type auditState struct {
+	mu      sync.Mutex
+	cycles  int64
+	checked int64
+	drifted int64
+	errors  int64
+	lastRun time.Time
+	cursor  int
+	drifts  map[string]auditRecord
+}
+
+func newAuditState() *auditState {
+	return &auditState{drifts: make(map[string]auditRecord)}
+}
+
+// auditView is the GET /v1/audit response body.
+type auditView struct {
+	Enabled    bool          `json:"enabled"`
+	IntervalMS int64         `json:"interval_ms,omitempty"`
+	Sample     int           `json:"sample"`
+	Cycles     int64         `json:"cycles"`
+	Checked    int64         `json:"checked"`
+	Drifted    int64         `json:"drifted"`
+	Errors     int64         `json:"errors"`
+	LastCycle  *time.Time    `json:"last_cycle,omitempty"`
+	Drifts     []auditRecord `json:"drifts"`
+}
+
+func (s *Server) auditSnapshot() auditView {
+	a := s.audit
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := auditView{
+		Enabled: s.opts.AuditInterval > 0,
+		Sample:  s.opts.AuditSample,
+		Cycles:  a.cycles,
+		Checked: a.checked,
+		Drifted: a.drifted,
+		Errors:  a.errors,
+		Drifts:  make([]auditRecord, 0, len(a.drifts)),
+	}
+	if v.Enabled {
+		v.IntervalMS = s.opts.AuditInterval.Milliseconds()
+	}
+	if !a.lastRun.IsZero() {
+		t := a.lastRun.UTC()
+		v.LastCycle = &t
+	}
+	for _, rec := range a.drifts {
+		v.Drifts = append(v.Drifts, rec)
+	}
+	sort.Slice(v.Drifts, func(i, j int) bool { return v.Drifts[i].Key < v.Drifts[j].Key })
+	return v
+}
+
+// auditLoop runs cycles at the configured interval until ctx is canceled
+// (Drain cancels it before waiting for workers).
+func (s *Server) auditLoop(ctx context.Context) {
+	defer s.auditWG.Done()
+	ticker := time.NewTicker(s.opts.AuditInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.AuditOnce(ctx)
+		}
+	}
+}
+
+// AuditOnce runs one audit cycle synchronously: re-execute up to
+// Options.AuditSample cached entries (rotating through the key space
+// across cycles) and flag drift. It is the unit the background loop
+// repeats, exported for deterministic tests and operational tooling.
+func (s *Server) AuditOnce(ctx context.Context) AuditSummary {
+	keys := s.cache.Keys()
+	sort.Strings(keys)
+	a := s.audit
+	a.mu.Lock()
+	sample := s.opts.AuditSample
+	if sample <= 0 || sample > len(keys) {
+		sample = len(keys)
+	}
+	start := a.cursor
+	if len(keys) > 0 {
+		start %= len(keys)
+	} else {
+		start = 0
+	}
+	a.cursor = start + sample
+	a.mu.Unlock()
+
+	var sum AuditSummary
+	for i := 0; i < sample; i++ {
+		key := keys[(start+i)%len(keys)]
+		if ctx.Err() != nil {
+			break
+		}
+		req, cachedResult, ok := s.cache.Entry(key)
+		if !ok {
+			continue // evicted since Keys(), or corrupt — nothing to audit
+		}
+		sum.Checked++
+		runCtx, cancel := context.WithTimeout(ctx, s.opts.JobTimeout)
+		freshResult, err := s.execute(runCtx, SubmitRequest{AnalysisRequest: req})
+		cancel()
+		if err != nil {
+			// Canceled/failed re-executions (drain, timeout, transient
+			// engine errors) are counted but not flagged — drift means a
+			// *different* answer, not a missing one.
+			sum.Errors++
+			continue
+		}
+		fields := diffResults(cachedResult, freshResult)
+		if len(fields) > 0 {
+			sum.Drifted++
+			s.flagDrift(key, req.Analysis, fields)
+		}
+	}
+
+	a.mu.Lock()
+	a.cycles++
+	a.checked += int64(sum.Checked)
+	a.drifted += int64(sum.Drifted)
+	a.errors += int64(sum.Errors)
+	a.lastRun = time.Now()
+	a.mu.Unlock()
+	s.m.auditCycles.Add(1)
+	s.m.auditChecked.Add(int64(sum.Checked))
+	s.m.auditDrift.Add(int64(sum.Drifted))
+	s.m.auditErrors.Add(int64(sum.Errors))
+	return sum
+}
+
+// flagDrift records a drifted entry and evicts it so the next submission
+// recomputes against the current engine instead of re-serving the stale
+// conclusion.
+func (s *Server) flagDrift(key, analysis string, fields []string) {
+	a := s.audit
+	a.mu.Lock()
+	a.drifts[key] = auditRecord{Key: key, Analysis: analysis, Fields: fields, DetectedAt: time.Now().UTC()}
+	a.mu.Unlock()
+	s.cache.Delete(key)
+	s.m.syncCache(s.cache.Stats())
+}
+
+// diffResults compares the deterministic sections of two marshaled
+// JobResults and names the ones that differ. Wall-clock fields (elapsed
+// time, per-pass trace durations) are never compared — the engine's
+// virtual-time output is byte-stable, its run cost is not.
+func diffResults(cached, fresh []byte) []string {
+	var a, b JobResult
+	if err := json.Unmarshal(cached, &a); err != nil {
+		return []string{"undecodable"}
+	}
+	if err := json.Unmarshal(fresh, &b); err != nil {
+		return []string{"undecodable"}
+	}
+	var fields []string
+	if a.Report != b.Report {
+		fields = append(fields, "report")
+	}
+	if !jsonEqual(a.Sets, b.Sets) {
+		fields = append(fields, "sets")
+	}
+	if !jsonEqual(a.Diff, b.Diff) {
+		fields = append(fields, "diff")
+	}
+	if !jsonEqual(a.Violations, b.Violations) {
+		fields = append(fields, "violations")
+	}
+	if a.GateFailed != b.GateFailed {
+		fields = append(fields, "gate_failed")
+	}
+	if a.Prediction != b.Prediction {
+		fields = append(fields, "prediction")
+	}
+	return fields
+}
+
+// jsonEqual compares two values through their canonical JSON encoding.
+func jsonEqual(a, b any) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && string(ab) == string(bb)
+}
+
+// SeedCacheEntry force-writes a cache entry, bypassing execution — the
+// audit test hook (a hand-mutated entry is the simulated "old engine
+// version" result) and a migration tool for warming replicas.
+func (s *Server) SeedCacheEntry(key string, req perflow.AnalysisRequest, result []byte) {
+	s.cache.Put(key, req, result)
+	s.m.syncCache(s.cache.Stats())
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"perflow"
+)
+
+// The audit e2e: seed the cache with one genuine entry and one
+// hand-mutated "old engine version" entry under the same protocol, run one
+// audit cycle, and check only the stale entry is flagged on /v1/audit,
+// counted in /metrics, and evicted so the next submission recomputes it.
+
+func TestAuditFlagsDriftedEntry(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8, AuditSample: 8})
+
+	submit := func(workload string) JobView {
+		req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: workload, Analysis: "profile", Ranks: 4}}
+		resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %d: %s", workload, resp.StatusCode, data)
+		}
+		return waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	}
+	clean := submit("cg")
+	stale := submit("mg")
+	if clean.State != StateDone || stale.State != StateDone {
+		t.Fatalf("seed jobs did not complete: %s / %s", clean.State, stale.State)
+	}
+
+	// Hand-mutate the stencil entry: same request, but a result the current
+	// engine would never produce — the simulated stale engine version.
+	req, result, ok := s.cache.Entry(stale.Key)
+	if !ok {
+		t.Fatal("stale seed entry missing from cache")
+	}
+	var jr JobResult
+	if err := json.Unmarshal(result, &jr); err != nil {
+		t.Fatal(err)
+	}
+	jr.Report = "stale conclusion from a previous engine version\n"
+	mutated, err := json.Marshal(&jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SeedCacheEntry(stale.Key, req, mutated)
+
+	sum := s.AuditOnce(context.Background())
+	if sum.Checked != 2 || sum.Drifted != 1 || sum.Errors != 0 {
+		t.Fatalf("AuditOnce = %+v, want checked 2, drifted 1, errors 0", sum)
+	}
+
+	// /v1/audit names the drifted key and the diverged field.
+	resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/audit", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/audit: %d: %s", resp.StatusCode, data)
+	}
+	var view auditView
+	if err := json.Unmarshal(data, &view); err != nil {
+		t.Fatalf("bad audit view %s: %v", data, err)
+	}
+	if view.Cycles != 1 || view.Checked != 2 || view.Drifted != 1 {
+		t.Errorf("audit view counters = %d/%d/%d, want 1/2/1", view.Cycles, view.Checked, view.Drifted)
+	}
+	if len(view.Drifts) != 1 {
+		t.Fatalf("drifts = %v, want exactly the stale entry", view.Drifts)
+	}
+	rec := view.Drifts[0]
+	if rec.Key != stale.Key {
+		t.Errorf("drift key = %s, want %s", rec.Key, stale.Key)
+	}
+	if rec.Analysis != "profile" {
+		t.Errorf("drift analysis = %q, want profile", rec.Analysis)
+	}
+	if len(rec.Fields) != 1 || rec.Fields[0] != "report" {
+		t.Errorf("drift fields = %v, want [report]", rec.Fields)
+	}
+
+	// The counters surface in /metrics too.
+	m := metricsSnapshot(t, ts)
+	if got := m["audit_drift"].(float64); got != 1 {
+		t.Errorf("audit_drift = %v, want 1", got)
+	}
+	if got := m["audit_checked"].(float64); got != 2 {
+		t.Errorf("audit_checked = %v, want 2", got)
+	}
+
+	// The drifted entry was evicted: resubmitting recomputes (202 + fresh
+	// run), while the clean entry still serves from cache (200 + cached).
+	if _, ok := s.cache.Get(stale.Key); ok {
+		t.Error("drifted entry still resident after flagging")
+	}
+	staleReq := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "mg", Analysis: "profile", Ranks: 4}}
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", staleReq)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit of evicted entry: %d, want 202 (recompute): %s", resp.StatusCode, data)
+	}
+	fresh := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if fresh.State != StateDone {
+		t.Fatalf("recompute state = %s", fresh.State)
+	}
+
+	cleanReq := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "profile", Ranks: 4}}
+	resp, data = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", cleanReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean entry resubmit: %d, want 200 (cache hit): %s", resp.StatusCode, data)
+	}
+	if v := decodeView(t, data); !v.Cached {
+		t.Error("clean entry not served from cache after audit")
+	}
+
+	// A second cycle over the now-healthy cache flags nothing new.
+	sum = s.AuditOnce(context.Background())
+	if sum.Drifted != 0 {
+		t.Errorf("second cycle drifted = %d, want 0", sum.Drifted)
+	}
+}
+
+// TestAuditLoopRuns checks the background loop wiring: with a short
+// interval configured, cycles run without any explicit AuditOnce call.
+func TestAuditLoopRuns(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8, AuditInterval: 20 * time.Millisecond})
+
+	req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "profile", Ranks: 4}}
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, data := doJSON(t, http.MethodGet, ts.URL+"/v1/audit", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/audit: %d", resp.StatusCode)
+		}
+		var view auditView
+		if err := json.Unmarshal(data, &view); err != nil {
+			t.Fatal(err)
+		}
+		if !view.Enabled {
+			t.Fatal("audit view reports disabled despite AuditInterval")
+		}
+		if view.Cycles >= 2 && view.Checked >= 1 {
+			if view.Drifted != 0 {
+				t.Errorf("healthy cache flagged drift: %+v", view)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("audit loop never cycled: %+v", view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,97 +1,72 @@
 package serve
 
 import (
-	"container/list"
-	"sync"
+	"encoding/json"
+
+	"perflow"
+	"perflow/internal/serve/store"
 )
 
-// resultCache is a content-addressed LRU cache of finished job results,
-// bounded by a byte budget. Keys are SHA-256 digests of the canonicalized
-// program plus the result-affecting run options (see Job.Key), so a repeat
-// submission of an equivalent job is served without re-running anything —
-// sound because PAG construction is deterministic and byte-identical at any
-// parallelism setting.
+// resultCache is the serve layer's view of the pluggable result store: a
+// content-addressed map from cache key to a stored envelope holding both
+// the originating request and the marshaled JobResult. Keeping the request
+// next to the result is what makes the audit loop possible — any replica
+// can pick a cached entry and re-execute it against the current engine
+// without the submitting client still being around.
 type resultCache struct {
-	mu     sync.Mutex
-	budget int64
-	bytes  int64
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-
-	hits, misses, evictions int64
+	store store.Store
 }
 
-type cacheEntry struct {
-	key string
-	val []byte
+// storedEntry is the envelope written to the store. Result stays a
+// RawMessage so cached bytes round-trip exactly — a cache hit serves the
+// very bytes the original execution produced.
+type storedEntry struct {
+	V       int                     `json:"v"`
+	Request perflow.AnalysisRequest `json:"request"`
+	Result  json.RawMessage         `json:"result"`
 }
 
-func newResultCache(budget int64) *resultCache {
-	return &resultCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+func newResultCache(st store.Store) *resultCache {
+	return &resultCache{store: st}
 }
 
-// Get returns the cached result bytes for key, bumping its recency.
+// Get returns the cached result bytes for key.
 func (c *resultCache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	_, result, ok := c.Entry(key)
+	return result, ok
 }
 
-// Put inserts or refreshes key, then evicts least-recently-used entries
-// until the byte budget holds. Values larger than the whole budget are not
-// cached at all.
-func (c *resultCache) Put(key string, val []byte) {
-	if int64(len(val)) > c.budget {
+// Entry returns the cached request and result bytes for key. An envelope
+// that fails to decode (e.g. written by an incompatible version) is
+// dropped and reported as a miss.
+func (c *resultCache) Entry(key string) (perflow.AnalysisRequest, []byte, bool) {
+	raw, ok := c.store.Get(key)
+	if !ok {
+		return perflow.AnalysisRequest{}, nil, false
+	}
+	var ent storedEntry
+	if err := json.Unmarshal(raw, &ent); err != nil || ent.V != 1 {
+		c.store.Delete(key)
+		return perflow.AnalysisRequest{}, nil, false
+	}
+	return ent.Request, ent.Result, true
+}
+
+// Put stores a finished job's result under its content address, alongside
+// the request that produced it.
+func (c *resultCache) Put(key string, req perflow.AnalysisRequest, result []byte) {
+	raw, err := json.Marshal(storedEntry{V: 1, Request: req, Result: result})
+	if err != nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		ent := el.Value.(*cacheEntry)
-		c.bytes += int64(len(val)) - int64(len(ent.val))
-		ent.val = val
-		c.ll.MoveToFront(el)
-	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-		c.bytes += int64(len(val))
-	}
-	for c.bytes > c.budget {
-		back := c.ll.Back()
-		if back == nil {
-			break
-		}
-		ent := back.Value.(*cacheEntry)
-		c.ll.Remove(back)
-		delete(c.items, ent.key)
-		c.bytes -= int64(len(ent.val))
-		c.evictions++
-	}
+	c.store.Put(key, raw)
 }
 
-// cacheStats is a point-in-time snapshot of the cache counters.
-type cacheStats struct {
-	Entries   int
-	Bytes     int64
-	Hits      int64
-	Misses    int64
-	Evictions int64
-}
+// Delete evicts one entry (the audit loop's drift path).
+func (c *resultCache) Delete(key string) { c.store.Delete(key) }
 
-func (c *resultCache) Stats() cacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return cacheStats{
-		Entries:   len(c.items),
-		Bytes:     c.bytes,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-	}
-}
+// Keys lists the resident content addresses.
+func (c *resultCache) Keys() []string { return c.store.Keys() }
+
+// Stats snapshots the backing store's counters.
+func (c *resultCache) Stats() store.Stats { return c.store.Stats() }

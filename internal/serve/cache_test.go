@@ -1,99 +1,107 @@
 package serve
 
 import (
-	"fmt"
 	"testing"
+
+	"perflow"
+	"perflow/internal/serve/store"
 )
 
-func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(100)
+// The resultCache is a thin envelope layer over a pluggable store: these
+// tests pin the envelope round-trip and its failure handling. The backing
+// stores' own behavior (LRU, CRC, durability) is tested in
+// internal/serve/store.
 
-	if _, ok := c.Get("a"); ok {
+func testAnalysisRequest() perflow.AnalysisRequest {
+	return perflow.AnalysisRequest{
+		Workload: "stencil",
+		Analysis: "profile",
+		Ranks:    2,
+	}.WithDefaults()
+}
+
+func TestResultCacheEnvelopeRoundTrip(t *testing.T) {
+	c := newResultCache(store.NewMemory(1 << 20))
+	req := testAnalysisRequest()
+	result := []byte(`{"report":"hello","violations":[]}`)
+
+	if _, ok := c.Get("k"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", make([]byte, 40))
-	c.Put("b", make([]byte, 40))
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("miss on resident entry a")
-	}
-	// a is now MRU; inserting c (40 bytes) over the 100-byte budget must
-	// evict b, the LRU entry, not a.
-	c.Put("c", make([]byte, 40))
-	if _, ok := c.Get("b"); ok {
-		t.Error("b survived eviction; LRU order not honored")
-	}
-	if _, ok := c.Get("a"); !ok {
-		t.Error("recently-used a was evicted")
-	}
-	if _, ok := c.Get("c"); !ok {
-		t.Error("fresh insert c missing")
-	}
+	c.Put("k", req, result)
 
-	st := c.Stats()
-	if st.Evictions != 1 {
-		t.Errorf("evictions = %d, want 1", st.Evictions)
-	}
-	if st.Entries != 2 || st.Bytes != 80 {
-		t.Errorf("entries/bytes = %d/%d, want 2/80", st.Entries, st.Bytes)
-	}
-}
-
-func TestResultCacheOversized(t *testing.T) {
-	c := newResultCache(64)
-	c.Put("big", make([]byte, 65))
-	if _, ok := c.Get("big"); ok {
-		t.Error("oversized entry must not be cached")
-	}
-	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
-		t.Errorf("oversized insert changed occupancy: %+v", st)
-	}
-}
-
-func TestResultCacheReplace(t *testing.T) {
-	c := newResultCache(100)
-	c.Put("k", []byte("one"))
-	c.Put("k", []byte("second"))
 	got, ok := c.Get("k")
-	if !ok || string(got) != "second" {
-		t.Fatalf("Get after replace = %q, %v", got, ok)
+	if !ok {
+		t.Fatal("miss on resident entry")
 	}
-	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len("second")) {
-		t.Errorf("replace left stale accounting: %+v", st)
+	if string(got) != string(result) {
+		t.Fatalf("Get = %q, want the exact bytes %q", got, result)
+	}
+
+	gotReq, gotResult, ok := c.Entry("k")
+	if !ok {
+		t.Fatal("Entry miss on resident entry")
+	}
+	if string(gotResult) != string(result) {
+		t.Fatalf("Entry result = %q, want %q", gotResult, result)
+	}
+	if gotReq.CacheKey() != req.CacheKey() {
+		t.Fatalf("Entry request round-trip changed the content address:\n got %s\nwant %s",
+			gotReq.CacheKey(), req.CacheKey())
 	}
 }
 
-func TestResultCacheCounters(t *testing.T) {
-	c := newResultCache(1 << 10)
-	c.Put("x", []byte("v"))
-	for i := 0; i < 3; i++ {
-		c.Get("x")
+func TestResultCacheUndecodableEnvelope(t *testing.T) {
+	st := store.NewMemory(1 << 20)
+	c := newResultCache(st)
+
+	// Raw bytes written around the envelope (an incompatible writer) must
+	// read as a miss and be dropped, not returned as a result.
+	st.Put("bad", []byte("not json"))
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("undecodable envelope served as a hit")
 	}
+	if _, ok := st.Get("bad"); ok {
+		t.Error("undecodable envelope not dropped from the store")
+	}
+
+	// Same for a decodable envelope with the wrong version.
+	st.Put("v9", []byte(`{"v":9,"request":{},"result":{}}`))
+	if _, _, ok := c.Entry("v9"); ok {
+		t.Fatal("wrong-version envelope served as a hit")
+	}
+}
+
+func TestResultCacheDeleteAndKeys(t *testing.T) {
+	c := newResultCache(store.NewMemory(1 << 20))
+	req := testAnalysisRequest()
+	c.Put("a", req, []byte(`{"report":"a"}`))
+	c.Put("b", req, []byte(`{"report":"b"}`))
+	if got := len(c.Keys()); got != 2 {
+		t.Fatalf("Keys() = %d entries, want 2", got)
+	}
+	c.Delete("a")
+	if _, ok := c.Get("a"); ok {
+		t.Error("deleted entry still served")
+	}
+	keys := c.Keys()
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Errorf("Keys() after delete = %v, want [b]", keys)
+	}
+}
+
+func TestResultCacheStatsPassThrough(t *testing.T) {
+	c := newResultCache(store.NewMemory(1 << 20))
+	req := testAnalysisRequest()
+	c.Put("x", req, []byte(`{"report":"x"}`))
+	c.Get("x")
+	c.Get("x")
 	c.Get("missing")
 	st := c.Stats()
-	if st.Hits != 3 || st.Misses != 1 {
-		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
 	}
-}
-
-func TestResultCacheManyEvictions(t *testing.T) {
-	c := newResultCache(10 * 8)
-	for i := 0; i < 100; i++ {
-		c.Put(fmt.Sprintf("k%d", i), make([]byte, 8))
-	}
-	st := c.Stats()
-	if st.Entries != 10 {
-		t.Errorf("entries = %d, want 10", st.Entries)
-	}
-	if st.Bytes != 80 {
-		t.Errorf("bytes = %d, want 80", st.Bytes)
-	}
-	// Only the ten most recent keys are resident.
-	for i := 90; i < 100; i++ {
-		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
-			t.Errorf("recent key k%d evicted", i)
-		}
-	}
-	if _, ok := c.Get("k0"); ok {
-		t.Error("oldest key survived 90 evictions")
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
 	}
 }

@@ -11,12 +11,30 @@ import (
 // maxBodyBytes bounds a submission body (inline DSL programs included).
 const maxBodyBytes = 8 << 20
 
+// tenantHandler is an endpoint that needs the authenticated tenant.
+type tenantHandler func(w http.ResponseWriter, r *http.Request, tn *tenantState)
+
+// withAuth resolves the calling tenant for a /v1 endpoint. With no tenants
+// configured the server is open and every caller is the anonymous tenant;
+// with an auth file, a missing or unknown API key is a 401 envelope.
+func (s *Server) withAuth(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn, ok := s.tenants.resolve(r)
+		if !ok {
+			writeError(w, http.StatusUnauthorized, ErrCodeUnauthorized, "missing or unknown API key")
+			return
+		}
+		h(w, r, tn)
+	}
+}
+
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs", s.withAuth(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.withAuth(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.withAuth(s.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withAuth(s.handleCancel))
+	mux.HandleFunc("GET /v1/audit", s.withAuth(s.handleAudit))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.EnablePprof {
@@ -55,6 +73,7 @@ func (s *Server) viewLocked(j *Job, withResult bool) JobView {
 	v := JobView{
 		ID:          j.ID,
 		Key:         j.Key,
+		Tenant:      j.Tenant,
 		State:       j.state,
 		Cached:      j.cached,
 		Error:       j.err,
@@ -75,10 +94,19 @@ func (s *Server) viewLocked(j *Job, withResult bool) JobView {
 	return v
 }
 
-// handleSubmit implements POST /v1/jobs: validate and lint synchronously,
-// serve repeat submissions straight from the result cache, otherwise
-// enqueue on the bounded worker pool — or push back with 429 when full.
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// visibleTo reports whether a tenant may see a job: with auth enabled,
+// only its own jobs (other tenants' jobs answer 404, not 403, so job IDs
+// leak nothing); the anonymous server sees everything.
+func (s *Server) visibleTo(j *Job, tn *tenantState) bool {
+	return !s.tenants.enabled || j.Tenant == tn.cfg.Name
+}
+
+// handleSubmit implements POST /v1/jobs: authenticate, validate and lint
+// synchronously, serve repeat submissions straight from the shared result
+// store, otherwise charge the tenant's quota and enqueue on the shard the
+// content address hashes to — or push back with 429 (queue full or quota
+// exhausted, distinguished by envelope code).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tn *tenantState) {
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -90,7 +118,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Content-addressed fast path: a hit can only exist for a request that
 	// previously validated, linted clean, and ran to completion, so the
-	// whole pipeline is skipped — repeat submissions are O(1).
+	// whole pipeline is skipped — repeat submissions are O(1), across
+	// tenants and (on the disk store) across replicas and restarts.
 	key := req.Key()
 	if cached, ok := s.cache.Get(key); ok {
 		s.m.syncCache(s.cache.Stats())
@@ -99,6 +128,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		job := &Job{
 			ID:         fmt.Sprintf("j-%06d", s.seq),
 			Key:        key,
+			Tenant:     tn.cfg.Name,
 			Req:        req,
 			state:      StateDone,
 			cached:     true,
@@ -110,6 +140,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		close(job.done)
 		s.registerLocked(job)
 		s.m.jobsDone.Add(1)
+		s.m.tenantCompleted(tn.cfg.Name)
 		view := s.viewLocked(job, true)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, view)
@@ -127,16 +158,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := s.submit(req)
+	job, err := s.submit(req, tn)
 	switch err {
 	case nil:
 		writeJSON(w, http.StatusAccepted, s.view(job, false))
-	case errQueueFull:
+	case ErrQueueFull:
 		// Backpressure: tell the client when a slot is plausibly free
 		// instead of accepting unbounded work.
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "job queue full")
-	case errDraining:
+	case ErrQuotaExceeded:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, ErrCodeQuotaExceeded,
+			fmt.Sprintf("tenant %q has %d jobs in flight (quota %d)", tn.cfg.Name, tn.cfg.Quota, tn.cfg.Quota))
+	case ErrDraining:
 		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "server draining")
 	default:
 		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
@@ -156,11 +191,11 @@ func (s *Server) retryAfterSeconds() int {
 	return int(n)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, tn *tenantState) {
 	s.mu.Lock()
 	views := make([]JobView, 0, len(s.order))
 	for _, id := range s.order {
-		if j, ok := s.jobs[id]; ok {
+		if j, ok := s.jobs[id]; ok && s.visibleTo(j, tn) {
 			views = append(views, s.viewLocked(j, false))
 		}
 	}
@@ -168,16 +203,20 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, tn *tenantState) {
 	j, ok := s.job(r.PathValue("id"))
-	if !ok {
+	if !ok || !s.visibleTo(j, tn) {
 		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.view(j, true))
 }
 
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	if j, ok := s.job(r.PathValue("id")); !ok || !s.visibleTo(j, tn) {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job")
+		return
+	}
 	j, found, cancelable := s.cancelJob(r.PathValue("id"))
 	if !found {
 		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job")
@@ -188,6 +227,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.view(j, false))
+}
+
+// handleAudit implements GET /v1/audit: the audit loop's drift ledger.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, tn *tenantState) {
+	writeJSON(w, http.StatusOK, s.auditSnapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -89,6 +89,9 @@ type JobResult struct {
 type Job struct {
 	ID  string `json:"id"`
 	Key string `json:"key"`
+	// Tenant names the submitting tenant; with auth enabled, only that
+	// tenant can see or cancel the job.
+	Tenant string `json:"tenant"`
 
 	Req SubmitRequest `json:"request"`
 
@@ -101,6 +104,7 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 
+	shard     *shard             // execution lane the job was enqueued on
 	cancel    context.CancelFunc // cancels the job's run context
 	runParent context.Context    // parent context the worker runs under
 	done      chan struct{}      // closed on any terminal state
@@ -128,6 +132,7 @@ func marshalResult(r *JobResult) ([]byte, error) {
 type JobView struct {
 	ID          string          `json:"id"`
 	Key         string          `json:"key"`
+	Tenant      string          `json:"tenant,omitempty"`
 	State       State           `json:"state"`
 	Cached      bool            `json:"cached,omitempty"`
 	Error       string          `json:"error,omitempty"`
@@ -142,9 +147,11 @@ type JobView struct {
 // on these, never on message text.
 const (
 	ErrCodeBadRequest      = "bad_request"      // 400: malformed body
+	ErrCodeUnauthorized    = "unauthorized"     // 401: missing/unknown API key
 	ErrCodeInvalidRequest  = "invalid_request"  // 422: shape/limits/faults/policy
 	ErrCodeLintRejected    = "lint_rejected"    // 422: static diagnostics gate
-	ErrCodeQueueFull       = "queue_full"       // 429
+	ErrCodeQueueFull       = "queue_full"       // 429: shard queue backpressure
+	ErrCodeQuotaExceeded   = "quota_exceeded"   // 429: tenant in-flight quota
 	ErrCodeDraining        = "draining"         // 503
 	ErrCodeNotFound        = "not_found"        // 404
 	ErrCodeAlreadyFinished = "already_finished" // 409

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"perflow/internal/serve/store"
 )
 
 // Server metrics in the expvar idiom: every counter is an expvar.Var
@@ -70,32 +72,52 @@ func (h *latencyHist) String() string {
 
 // metrics aggregates every serving counter the /metrics endpoint exposes.
 type metrics struct {
-	jobsSubmitted expvar.Int // accepted onto the queue (cache hits excluded)
-	jobsQueued    expvar.Int // gauge: waiting in the queue now
-	jobsRunning   expvar.Int // gauge: executing now
-	jobsDone      expvar.Int
-	jobsFailed    expvar.Int
-	jobsCanceled  expvar.Int
-	jobsRejected  expvar.Int // 429 backpressure rejections
+	jobsSubmitted     expvar.Int // accepted onto a shard queue (cache hits excluded)
+	jobsQueued        expvar.Int // gauge: waiting across all shard queues now
+	jobsRunning       expvar.Int // gauge: executing now
+	jobsDone          expvar.Int
+	jobsFailed        expvar.Int
+	jobsCanceled      expvar.Int
+	jobsRejected      expvar.Int // 429 shard-queue backpressure rejections
+	jobsQuotaRejected expvar.Int // 429 tenant-quota rejections
+	shards            expvar.Int // gauge: configured shard count
 
 	cacheHits      expvar.Int
 	cacheMisses    expvar.Int
 	cacheEvictions expvar.Int
+	cacheCorrupt   expvar.Int // CRC-failed reads discarded by the store
 	cacheBytes     expvar.Int // gauge
 	cacheEntries   expvar.Int // gauge
+
+	auditCycles  expvar.Int
+	auditChecked expvar.Int
+	auditDrift   expvar.Int
+	auditErrors  expvar.Int
 
 	latency *expvar.Map // analysis name -> *latencyHist
 	histMu  sync.Mutex
 	hists   map[string]*latencyHist
 
+	tenantVars *expvar.Map // tenant name -> {submitted, completed, rejected}
+	tenantMu   sync.Mutex
+	tenants    map[string]*tenantCounters
+
 	top *expvar.Map
+}
+
+// tenantCounters is one tenant's traffic block in the metric tree.
+type tenantCounters struct {
+	submitted, completed, rejected expvar.Int
+	m                              *expvar.Map
 }
 
 func newMetrics() *metrics {
 	m := &metrics{
-		latency: new(expvar.Map).Init(),
-		hists:   make(map[string]*latencyHist),
-		top:     new(expvar.Map).Init(),
+		latency:    new(expvar.Map).Init(),
+		hists:      make(map[string]*latencyHist),
+		tenantVars: new(expvar.Map).Init(),
+		tenants:    make(map[string]*tenantCounters),
+		top:        new(expvar.Map).Init(),
 	}
 	m.top.Set("jobs_submitted", &m.jobsSubmitted)
 	m.top.Set("jobs_queued", &m.jobsQueued)
@@ -104,14 +126,42 @@ func newMetrics() *metrics {
 	m.top.Set("jobs_failed", &m.jobsFailed)
 	m.top.Set("jobs_canceled", &m.jobsCanceled)
 	m.top.Set("jobs_rejected", &m.jobsRejected)
+	m.top.Set("jobs_quota_rejected", &m.jobsQuotaRejected)
+	m.top.Set("shards", &m.shards)
 	m.top.Set("cache_hits", &m.cacheHits)
 	m.top.Set("cache_misses", &m.cacheMisses)
 	m.top.Set("cache_evictions", &m.cacheEvictions)
+	m.top.Set("cache_corrupt", &m.cacheCorrupt)
 	m.top.Set("cache_bytes", &m.cacheBytes)
 	m.top.Set("cache_entries", &m.cacheEntries)
+	m.top.Set("audit_cycles", &m.auditCycles)
+	m.top.Set("audit_checked", &m.auditChecked)
+	m.top.Set("audit_drift", &m.auditDrift)
+	m.top.Set("audit_errors", &m.auditErrors)
 	m.top.Set("latency_us", m.latency)
+	m.top.Set("tenants", m.tenantVars)
 	return m
 }
+
+// tenant returns (creating on first use) a tenant's counter block.
+func (m *metrics) tenant(name string) *tenantCounters {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	tc, ok := m.tenants[name]
+	if !ok {
+		tc = &tenantCounters{m: new(expvar.Map).Init()}
+		tc.m.Set("submitted", &tc.submitted)
+		tc.m.Set("completed", &tc.completed)
+		tc.m.Set("rejected", &tc.rejected)
+		m.tenants[name] = tc
+		m.tenantVars.Set(name, tc.m)
+	}
+	return tc
+}
+
+func (m *metrics) tenantSubmitted(name string) { m.tenant(name).submitted.Add(1) }
+func (m *metrics) tenantCompleted(name string) { m.tenant(name).completed.Add(1) }
+func (m *metrics) tenantRejected(name string)  { m.tenant(name).rejected.Add(1) }
 
 // ObserveLatency records one finished job's run latency under its analysis
 // name.
@@ -127,11 +177,12 @@ func (m *metrics) ObserveLatency(analysis string, d time.Duration) {
 	h.Observe(d)
 }
 
-// syncCache copies the cache counters into the exported gauges.
-func (m *metrics) syncCache(st cacheStats) {
+// syncCache copies the result store's counters into the exported gauges.
+func (m *metrics) syncCache(st store.Stats) {
 	m.cacheHits.Set(st.Hits)
 	m.cacheMisses.Set(st.Misses)
 	m.cacheEvictions.Set(st.Evictions)
+	m.cacheCorrupt.Set(st.Corrupt)
 	m.cacheBytes.Set(st.Bytes)
 	m.cacheEntries.Set(int64(st.Entries))
 }

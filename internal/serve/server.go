@@ -1,15 +1,28 @@
 // Package serve implements the PerFlow analysis service behind the
 // `pflow serve` subcommand: a long-running HTTP server that accepts DSL
 // programs or named workloads plus run options, validates and lints them
-// synchronously, executes accepted jobs on a bounded worker pool with
-// per-job timeouts and cancellation, and serves results from a
-// content-addressed LRU cache so repeat submissions are O(1).
+// synchronously, and executes accepted jobs on a pool of worker shards.
+//
+// The service is multi-tenant and sharded:
+//
+//   - Execution is split across Options.Shards worker shards; a job's
+//     shard is chosen by hashing its content address, and each shard owns
+//     a bounded queue with per-tenant FIFOs drained by weighted-fair
+//     round-robin, so one hot tenant cannot starve the rest.
+//   - Results live behind the pluggable internal/serve/store interface
+//     (in-memory LRU, or CRC-validated content-addressed disk files that
+//     replicas on one host share and that survive restarts).
+//   - Tenants authenticate with API keys and carry in-flight quotas and
+//     fair-share weights (Options.Tenants / pflow serve -auth-file).
+//   - A gatekeeper-style background audit loop re-executes a sample of
+//     cached entries against the current engine and flags drift on
+//     /v1/audit.
 //
 // The service exists because the one-shot CLI re-parses, re-lints,
 // re-simulates and re-builds the PAG on every invocation; wrapping the same
-// perflow.RunCtx/AnalyzeCtx pipeline in a queue plus cache turns the batch
-// tool into a reusable serving core (cf. Pipeflow, arXiv 2202.00717, and
-// the continuous-analysis argument of arXiv 2401.13150).
+// perflow.RunCtx/AnalyzeCtx pipeline in sharded queues plus a shared cache
+// turns the batch tool into a serving core (cf. Pipeflow, arXiv
+// 2202.00717, and the continuous-analysis argument of arXiv 2401.13150).
 package serve
 
 import (
@@ -26,18 +39,38 @@ import (
 	"perflow/internal/core"
 	"perflow/internal/ir"
 	"perflow/internal/lint"
+	"perflow/internal/serve/store"
 	"perflow/internal/workloads"
 )
 
 // Options parameterizes a Server.
 type Options struct {
-	// Workers is the size of the analysis worker pool (default 4).
+	// Shards is the number of worker shards; jobs are routed by hashing
+	// their content address (default 1).
+	Shards int
+	// Workers is the worker count per shard (default 4), so the total
+	// execution parallelism is Shards*Workers.
 	Workers int
-	// QueueDepth bounds the number of jobs waiting to run; submissions
-	// beyond it are rejected with 429 (default 64).
+	// QueueDepth bounds the jobs waiting in each shard's queue;
+	// submissions beyond it are rejected with 429 (default 64).
 	QueueDepth int
-	// CacheBytes is the result cache's byte budget (default 64 MiB).
+	// Store is the result store; nil uses an in-memory LRU of CacheBytes.
+	// The server owns the store and closes it on Drain.
+	Store store.Store
+	// CacheBytes is the default store's byte budget (default 64 MiB);
+	// ignored when Store is set.
 	CacheBytes int64
+	// Tenants declares the server's tenants (API keys, quotas, fair-share
+	// weights). Empty means a single anonymous tenant with no
+	// authentication — the single-user development shape.
+	Tenants []TenantConfig
+	// AuditInterval is the period of the background audit loop
+	// re-executing cached entries against the current engine; 0 disables
+	// the loop (AuditOnce still works).
+	AuditInterval time.Duration
+	// AuditSample is how many cached entries one audit cycle re-executes
+	// (default 8; cycles rotate through the key space).
+	AuditSample int
 	// JobTimeout caps one job's run time; request timeouts are clamped to
 	// it (default 60s).
 	JobTimeout time.Duration
@@ -51,6 +84,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.Workers <= 0 {
 		o.Workers = 4
 	}
@@ -59,6 +95,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheBytes <= 0 {
 		o.CacheBytes = 64 << 20
+	}
+	if o.AuditSample <= 0 {
+		o.AuditSample = 8
 	}
 	if o.JobTimeout <= 0 {
 		o.JobTimeout = 60 * time.Second
@@ -72,16 +111,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the analysis service: a bounded job queue, a worker pool
-// running the perflow pipeline, and a content-addressed result cache.
+// Server is the analysis service: sharded bounded job queues, per-shard
+// worker pools running the perflow pipeline, a pluggable content-addressed
+// result store, tenant auth/quotas, and the audit loop.
 type Server struct {
-	opts  Options
-	cache *resultCache
-	m     *metrics
-	mux   *http.ServeMux
+	opts    Options
+	cache   *resultCache
+	m       *metrics
+	mux     *http.ServeMux
+	shards  []*shard
+	tenants *tenantRegistry
+	audit   *auditState
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	wg          sync.WaitGroup // shard workers
+	auditWG     sync.WaitGroup
+	auditCancel context.CancelFunc
 
 	baseCtx    context.Context // canceled on forced shutdown
 	baseCancel context.CancelFunc
@@ -91,28 +135,65 @@ type Server struct {
 	seq      uint64
 	jobs     map[string]*Job
 	order    []string // job IDs in submission order, for listing + history bounds
+
+	// testExecHook, when set by tests, observes every job the workers
+	// actually execute — the no-lost-no-double-run oracle of the
+	// dispatcher stress tests.
+	testExecHook func(*Job)
 }
 
-// New builds a Server and starts its worker pool. Callers must Drain it
-// when done.
+// New builds a Server and starts its shard workers (and, when configured,
+// the audit loop). Callers must Drain it when done.
 func New(opts Options) *Server {
+	s, err := NewServer(opts)
+	if err != nil {
+		// Options structs built in code (not from user config) are only
+		// invalid through programmer error.
+		panic(err)
+	}
+	return s
+}
+
+// NewServer is New with tenant-configuration errors surfaced instead of
+// panicking — the path for servers built from an -auth-file.
+func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	tenants, err := newTenantRegistry(opts.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	st := opts.Store
+	if st == nil {
+		st = store.NewMemory(opts.CacheBytes)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
-		cache:      newResultCache(opts.CacheBytes),
+		cache:      newResultCache(st),
 		m:          newMetrics(),
-		queue:      make(chan *Job, opts.QueueDepth),
+		tenants:    tenants,
+		audit:      newAuditState(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 	}
+	s.m.shards.Set(int64(opts.Shards))
 	s.mux = s.routes()
-	for i := 0; i < opts.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i, opts.QueueDepth)
+		for w := 0; w < opts.Workers; w++ {
+			s.wg.Add(1)
+			go s.shardWorker(s.shards[i])
+		}
 	}
-	return s
+	if opts.AuditInterval > 0 {
+		auditCtx, auditCancel := context.WithCancel(context.Background())
+		s.auditCancel = auditCancel
+		s.auditWG.Add(1)
+		go s.auditLoop(auditCtx)
+	}
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -122,10 +203,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // publication in the process-global expvar registry.
 func (s *Server) Metrics() interface{ String() string } { return s.m.Var() }
 
-// Drain stops accepting jobs, cancels everything still queued, and waits
-// for running jobs to finish — the SIGTERM path. If ctx expires first, the
-// remaining jobs' contexts are canceled and Drain waits for the workers to
-// observe it.
+// Drain stops accepting jobs, stops the audit loop, lets the queued
+// backlog finish, and waits for the workers — the SIGTERM path. If ctx
+// expires first, the remaining jobs' contexts are canceled and Drain waits
+// for the workers to observe it.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -133,28 +214,38 @@ func (s *Server) Drain(ctx context.Context) error {
 		return errors.New("serve: already draining")
 	}
 	s.draining = true
-	close(s.queue)
 	s.mu.Unlock()
+
+	if s.auditCancel != nil {
+		s.auditCancel()
+	}
+	s.auditWG.Wait()
+	for _, sh := range s.shards {
+		sh.close()
+	}
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel() // force-cancel running jobs, then wait for them
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.cache.store.Close()
+	return err
 }
 
-// errQueueFull and errDraining are the submission backpressure signals.
+// Submission backpressure signals.
 var (
-	errQueueFull = errors.New("serve: job queue full")
-	errDraining  = errors.New("serve: server draining")
+	ErrQueueFull     = errors.New("serve: job queue full")
+	ErrQuotaExceeded = errors.New("serve: tenant quota exhausted")
+	ErrDraining      = errors.New("serve: server draining")
 )
 
 // validate normalizes and checks a request, returning the prepared request
@@ -203,18 +294,25 @@ func (s *Server) validate(req SubmitRequest) (SubmitRequest, []lint.Diagnostic, 
 	return req, nil, nil
 }
 
-// submit creates a job for an already-validated request and enqueues it.
-func (s *Server) submit(req SubmitRequest) (*Job, error) {
+// submit creates a job for an already-validated request and enqueues it on
+// the shard its content address hashes to, charging the tenant's quota.
+func (s *Server) submit(req SubmitRequest, tn *tenantState) (*Job, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
-		s.mu.Unlock()
-		return nil, errDraining
+		return nil, ErrDraining
+	}
+	if tn.cfg.Quota > 0 && tn.inflight >= tn.cfg.Quota {
+		s.m.jobsQuotaRejected.Add(1)
+		s.m.tenantRejected(tn.cfg.Name)
+		return nil, ErrQuotaExceeded
 	}
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job := &Job{
 		ID:        fmt.Sprintf("j-%06d", s.seq),
 		Key:       req.Key(),
+		Tenant:    tn.cfg.Name,
 		Req:       req,
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -222,20 +320,79 @@ func (s *Server) submit(req SubmitRequest) (*Job, error) {
 		runParent: ctx,
 		done:      make(chan struct{}),
 	}
+	sh := s.shards[shardOf(job.Key, len(s.shards))]
+	job.shard = sh
 	// Reserve the queue slot while still holding the lock, so Drain cannot
-	// close the channel between the check above and this send.
-	select {
-	case s.queue <- job:
+	// close the shard between the draining check above and this enqueue.
+	if err := sh.enqueue(job); err != nil {
+		cancel()
+		if errors.Is(err, ErrQueueFull) {
+			s.m.jobsRejected.Add(1)
+			s.m.tenantRejected(tn.cfg.Name)
+		}
+		return nil, err
+	}
+	tn.inflight++
+	s.registerLocked(job)
+	s.m.jobsSubmitted.Add(1)
+	s.m.jobsQueued.Add(1)
+	s.m.tenantSubmitted(tn.cfg.Name)
+	return job, nil
+}
+
+// Submit validates and enqueues a request through the same path as POST
+// /v1/jobs, for embedding the server in a Go program (load harnesses, the
+// bench driver) without HTTP in between. tenant names the submitting
+// tenant; "" means the anonymous tenant and only works when no tenants are
+// configured. A repeat submission is served from the result store as an
+// already-done job.
+func (s *Server) Submit(req SubmitRequest, tenant string) (*Job, error) {
+	if tenant == "" {
+		tenant = anonymousTenant
+	}
+	tn, ok := s.tenants.byName[tenant]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown tenant %q", tenant)
+	}
+	req = req.withDefaults()
+	key := req.Key()
+	if cached, ok := s.cache.Get(key); ok {
+		s.mu.Lock()
+		s.seq++
+		job := &Job{
+			ID:         fmt.Sprintf("j-%06d", s.seq),
+			Key:        key,
+			Tenant:     tn.cfg.Name,
+			Req:        req,
+			state:      StateDone,
+			cached:     true,
+			resultJSON: cached,
+			submitted:  time.Now(),
+			finished:   time.Now(),
+			done:       make(chan struct{}),
+		}
+		close(job.done)
 		s.registerLocked(job)
-		s.m.jobsSubmitted.Add(1)
-		s.m.jobsQueued.Add(1)
+		s.m.jobsDone.Add(1)
+		s.m.tenantCompleted(tn.cfg.Name)
 		s.mu.Unlock()
 		return job, nil
-	default:
-		s.mu.Unlock()
-		cancel()
-		s.m.jobsRejected.Add(1)
-		return nil, errQueueFull
+	}
+	req, _, err := s.validate(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(req, tn)
+}
+
+// Await blocks until the job is terminal (or ctx expires) and returns its
+// final view, result included.
+func (s *Server) Await(ctx context.Context, j *Job) (JobView, error) {
+	select {
+	case <-j.done:
+		return s.view(j, true), nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
 	}
 }
 
@@ -269,8 +426,10 @@ func (s *Server) job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// cancelJob cancels a queued or running job. It returns the job, whether it
-// was found, and whether it was still cancelable.
+// cancelJob cancels a queued or running job. A queued job is removed from
+// its shard's queue outright — the slot frees immediately and the job can
+// never run. It returns the job, whether it was found, and whether it was
+// still cancelable.
 func (s *Server) cancelJob(id string) (*Job, bool, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -283,14 +442,19 @@ func (s *Server) cancelJob(id string) (*Job, bool, bool) {
 		s.mu.Unlock()
 		return j, true, false
 	case StateQueued:
-		// The worker that eventually dequeues it observes the canceled
-		// state and skips the run.
-		j.state = StateCanceled
-		j.err = "canceled before start"
-		j.finished = time.Now()
-		close(j.done)
-		s.m.jobsQueued.Add(-1)
-		s.m.jobsCanceled.Add(1)
+		if j.shard.remove(j) {
+			// Really out of the queue: terminal now, quota slot freed.
+			j.state = StateCanceled
+			j.err = "canceled before start"
+			j.finished = time.Now()
+			close(j.done)
+			s.releaseTenantLocked(j)
+			s.m.jobsQueued.Add(-1)
+			s.m.jobsCanceled.Add(1)
+		}
+		// If remove lost the race with a worker's dequeue, the job is
+		// effectively running: fall through to context cancellation and
+		// let the worker record the terminal state.
 	case StateRunning:
 		// The run context unwinds inside perflow.RunCtx; the worker
 		// records the terminal state.
@@ -301,10 +465,22 @@ func (s *Server) cancelJob(id string) (*Job, bool, bool) {
 	return j, true, true
 }
 
-// worker is one pool goroutine: it drains the queue until Drain closes it.
-func (s *Server) worker() {
+// releaseTenantLocked frees a terminal job's quota slot. Caller holds s.mu.
+func (s *Server) releaseTenantLocked(j *Job) {
+	if tn, ok := s.tenants.byName[j.Tenant]; ok && tn.inflight > 0 {
+		tn.inflight--
+	}
+}
+
+// shardWorker is one worker goroutine bound to a shard: it drains that
+// shard's queue with weighted-fair tenant selection until close.
+func (s *Server) shardWorker(sh *shard) {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, ok := sh.dequeue(s.tenants.weightOf)
+		if !ok {
+			return
+		}
 		s.runJob(job)
 	}
 }
@@ -321,7 +497,11 @@ func (s *Server) runJob(job *Job) {
 	job.started = time.Now()
 	s.m.jobsQueued.Add(-1)
 	s.m.jobsRunning.Add(1)
+	hook := s.testExecHook
 	s.mu.Unlock()
+	if hook != nil {
+		hook(job)
+	}
 
 	timeout := s.opts.JobTimeout
 	if job.Req.TimeoutMS > 0 {
@@ -334,6 +514,13 @@ func (s *Server) runJob(job *Job) {
 	cancel()
 	job.cancel()
 
+	// Persist before acknowledging: once a client can observe StateDone,
+	// an equivalent resubmission must hit the cache (and, on the disk
+	// store, survive a restart).
+	if err == nil {
+		s.cache.Put(job.Key, job.Req.AnalysisRequest, resultJSON)
+	}
+
 	s.mu.Lock()
 	job.finished = time.Now()
 	s.m.jobsRunning.Add(-1)
@@ -342,6 +529,7 @@ func (s *Server) runJob(job *Job) {
 		job.state = StateDone
 		job.resultJSON = resultJSON
 		s.m.jobsDone.Add(1)
+		s.m.tenantCompleted(job.Tenant)
 		s.m.ObserveLatency(job.Req.Analysis, job.finished.Sub(job.started))
 	case errors.Is(err, context.Canceled):
 		job.state = StateCanceled
@@ -356,12 +544,10 @@ func (s *Server) runJob(job *Job) {
 		job.err = err.Error()
 		s.m.jobsFailed.Add(1)
 	}
+	s.releaseTenantLocked(job)
 	close(job.done)
 	s.mu.Unlock()
 
-	if job.state == StateDone {
-		s.cache.Put(job.Key, resultJSON)
-	}
 	s.m.syncCache(s.cache.Stats())
 }
 

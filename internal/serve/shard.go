@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+)
+
+// shard is one execution lane of the sharded dispatcher: a bounded set of
+// per-tenant FIFO queues drained by the shard's own workers with
+// weighted-fair round-robin across tenants. Jobs are routed to a shard by
+// hashing their content address, so a hot key always lands in one lane and
+// the others stay responsive; inside a lane, the per-tenant queues plus
+// weighted dequeue keep one hot tenant from starving the rest.
+type shard struct {
+	id    int
+	depth int // bound on the total queued jobs across tenants
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queues holds each tenant's FIFO backlog; order is the round-robin
+	// ring of tenants that ever queued here.
+	queues map[string][]*Job
+	order  []string
+	rrIdx  int
+	// credits implements deficit-style weighted fairness: each dequeue
+	// spends one credit of the chosen tenant, and when every backlogged
+	// tenant is out of credits they are refilled to the tenants' weights —
+	// so over a refill epoch tenant shares converge to weight ratios.
+	credits map[string]int
+	queued  int
+	closed  bool
+}
+
+func newShard(id, depth int) *shard {
+	sh := &shard{
+		id:      id,
+		depth:   depth,
+		queues:  make(map[string][]*Job),
+		credits: make(map[string]int),
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// shardOf maps a content address onto a shard index. Cache keys are
+// 64-hex SHA-256 digests, so the leading 16 hex digits are a uniform
+// 64-bit sample; anything else falls back to an FNV-1a hash.
+func shardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	if len(key) >= 16 {
+		if v, err := strconv.ParseUint(key[:16], 16, 64); err == nil {
+			return int(v % uint64(shards))
+		}
+	}
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(shards))
+}
+
+// enqueue appends a job to its tenant's queue, rejecting when the shard's
+// total bound is reached or the dispatcher is draining.
+func (sh *shard) enqueue(j *Job) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrDraining
+	}
+	if sh.queued >= sh.depth {
+		return ErrQueueFull
+	}
+	q, known := sh.queues[j.Tenant]
+	if !known {
+		sh.order = append(sh.order, j.Tenant)
+	}
+	sh.queues[j.Tenant] = append(q, j)
+	sh.queued++
+	sh.cond.Signal()
+	return nil
+}
+
+// dequeue blocks until a job is available or the shard is closed and
+// empty. weight reports a tenant's fair-share weight (>= 1).
+func (sh *shard) dequeue(weight func(tenant string) int) (*Job, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		for sh.queued == 0 && !sh.closed {
+			sh.cond.Wait()
+		}
+		if sh.queued == 0 {
+			return nil, false // closed and drained
+		}
+		if j := sh.pickLocked(weight); j != nil {
+			return j, true
+		}
+	}
+}
+
+// pickLocked chooses the next tenant by weighted round-robin: scan the
+// ring from the cursor for a backlogged tenant with credit; if every
+// backlogged tenant is out of credit, refill to weights and rescan.
+func (sh *shard) pickLocked(weight func(string) int) *Job {
+	for pass := 0; pass < 2; pass++ {
+		n := len(sh.order)
+		for i := 0; i < n; i++ {
+			idx := (sh.rrIdx + i) % n
+			tenant := sh.order[idx]
+			if len(sh.queues[tenant]) == 0 || sh.credits[tenant] <= 0 {
+				continue
+			}
+			sh.credits[tenant]--
+			sh.rrIdx = (idx + 1) % n
+			return sh.popLocked(tenant)
+		}
+		// Refill every backlogged tenant and retry once.
+		for tenant, q := range sh.queues {
+			if len(q) > 0 {
+				sh.credits[tenant] = weight(tenant)
+			}
+		}
+	}
+	return nil // unreachable while queued > 0, but keep dequeue's loop safe
+}
+
+// popLocked removes the head of a tenant's FIFO.
+func (sh *shard) popLocked(tenant string) *Job {
+	q := sh.queues[tenant]
+	j := q[0]
+	q[0] = nil
+	sh.queues[tenant] = q[1:]
+	sh.queued--
+	return j
+}
+
+// remove deletes a queued job from its tenant's queue — the DELETE
+// /v1/jobs path for queued jobs. It reports whether the job was still
+// queued here (false means a worker already claimed it).
+func (sh *shard) remove(j *Job) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := sh.queues[j.Tenant]
+	for i, cand := range q {
+		if cand == j {
+			sh.queues[j.Tenant] = append(q[:i:i], q[i+1:]...)
+			sh.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// close stops intake; workers keep dequeuing until the backlog is empty,
+// then dequeue returns false.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	sh.closed = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// depthNow reports the current backlog, for metrics and tests.
+func (sh *shard) depthNow() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.queued
+}

@@ -1,0 +1,329 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Disk is the shared on-disk store: one content-addressed file per entry,
+// fanned out over 256 two-hex-digit subdirectories, every read validated
+// against a CRC32 recorded at write time. Because the file name is a pure
+// function of the key, several server replicas pointed at the same
+// directory share hits, and a restarted server finds its warm set on the
+// next Get. Writes are durable (fsync before an atomic rename) so an
+// acknowledged result survives a crash.
+//
+// A failed CRC check means torn or bit-rotted data: the entry is deleted
+// and the read reported as a miss, so the caller falls through to
+// recompute — the store never serves garbage.
+type Disk struct {
+	dir    string
+	budget int64
+
+	mu    sync.Mutex
+	seq   uint64
+	bytes int64
+	index map[string]*diskEntry
+
+	hits, misses, evictions, corrupt int64
+}
+
+type diskEntry struct {
+	size int64 // payload bytes (excluding header and key)
+	seq  uint64
+}
+
+// diskMagic marks a store file; bumping it invalidates old layouts.
+var diskMagic = [4]byte{'P', 'F', 'S', '1'}
+
+// diskHeaderLen is magic (4) + crc32 (4) + keylen (4).
+const diskHeaderLen = 12
+
+// maxKeyLen bounds the stored key header against hostile files.
+const maxKeyLen = 4096
+
+// NewDisk opens (creating if needed) a disk store rooted at dir with the
+// given payload byte budget. Existing entries are indexed — invalid or
+// corrupt files found during the scan are deleted.
+func NewDisk(dir string, budget int64) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{dir: dir, budget: budget, index: make(map[string]*diskEntry)}
+	if err := d.rescan(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// path maps a key to its file: the key itself when it is already a
+// 64-hex content address (the serve cache key shape), else the hex SHA-256
+// of the key — deterministic either way, so every replica computes the
+// same path.
+func (d *Disk) path(key string) string {
+	name := key
+	if !isHex64(key) {
+		sum := sha256.Sum256([]byte(key))
+		name = hex.EncodeToString(sum[:])
+	}
+	return filepath.Join(d.dir, name[:2], name)
+}
+
+func isHex64(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// encode renders the file image: magic | crc32(keylen|key|payload) |
+// keylen | key | payload.
+func encode(key string, val []byte) []byte {
+	buf := make([]byte, diskHeaderLen+len(key)+len(val))
+	copy(buf[0:4], diskMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(key)))
+	copy(buf[diskHeaderLen:], key)
+	copy(buf[diskHeaderLen+len(key):], val)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	return buf
+}
+
+// decode validates a file image and returns its key and payload.
+func decode(buf []byte) (key string, val []byte, err error) {
+	if len(buf) < diskHeaderLen || [4]byte(buf[0:4]) != diskMagic {
+		return "", nil, fmt.Errorf("bad magic")
+	}
+	keyLen := binary.LittleEndian.Uint32(buf[8:12])
+	if keyLen > maxKeyLen || diskHeaderLen+int(keyLen) > len(buf) {
+		return "", nil, fmt.Errorf("bad key length %d", keyLen)
+	}
+	if crc32.ChecksumIEEE(buf[8:]) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return "", nil, fmt.Errorf("crc mismatch")
+	}
+	key = string(buf[diskHeaderLen : diskHeaderLen+keyLen])
+	return key, buf[diskHeaderLen+int(keyLen):], nil
+}
+
+// Get reads and validates the entry's file. Unknown keys probe the
+// directory anyway, so a value written by another replica (or a previous
+// process) is adopted on first access.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	buf, err := os.ReadFile(d.path(key))
+	if err != nil {
+		d.mu.Lock()
+		d.misses++
+		d.dropLocked(key)
+		d.mu.Unlock()
+		return nil, false
+	}
+	fileKey, val, derr := decode(buf)
+	if derr != nil || fileKey != key {
+		// Torn write, bit rot, or a foreign file squatting on the path:
+		// discard and miss, never serve it.
+		os.Remove(d.path(key))
+		d.mu.Lock()
+		d.corrupt++
+		d.misses++
+		d.dropLocked(key)
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.mu.Lock()
+	d.hits++
+	d.touchLocked(key, int64(len(val)))
+	d.mu.Unlock()
+	return val, true
+}
+
+// Put durably writes the entry (temp file, fsync, atomic rename), then
+// evicts least-recently-used entries past the byte budget. The file write
+// happens outside the index lock so concurrent Puts overlap their I/O.
+func (d *Disk) Put(key string, val []byte) {
+	if int64(len(val)) > d.budget {
+		return
+	}
+	path := d.path(key)
+	if err := writeDurable(path, encode(key, val)); err != nil {
+		return // a failed write is a future miss, not an error surface
+	}
+	d.mu.Lock()
+	d.touchLocked(key, int64(len(val)))
+	victims := d.evictLocked(key)
+	d.mu.Unlock()
+	for _, v := range victims {
+		os.Remove(d.path(v))
+	}
+}
+
+// writeDurable writes buf next to path and renames it into place after an
+// fsync, then fsyncs the parent directory: without the directory sync the
+// rename itself may not survive a crash, and an acknowledged entry could
+// silently vanish. A crash at any point leaves either the old entry or the
+// new one — never a torn file under the content address.
+func writeDurable(path string, buf []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	serr := dir.Sync()
+	if cerr := dir.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// Delete removes the entry and its file.
+func (d *Disk) Delete(key string) {
+	os.Remove(d.path(key))
+	d.mu.Lock()
+	d.dropLocked(key)
+	d.mu.Unlock()
+}
+
+// Keys rescans the directory (adopting entries other replicas wrote) and
+// lists every resident key.
+func (d *Disk) Keys() []string {
+	d.rescan()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]string, 0, len(d.index))
+	for k := range d.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Stats snapshots the counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Entries:   len(d.index),
+		Bytes:     d.bytes,
+		Hits:      d.hits,
+		Misses:    d.misses,
+		Evictions: d.evictions,
+		Corrupt:   d.corrupt,
+	}
+}
+
+// Close releases the in-memory index; files stay for the next open.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.index = make(map[string]*diskEntry)
+	d.bytes = 0
+	return nil
+}
+
+// touchLocked records or refreshes an entry's size and recency.
+func (d *Disk) touchLocked(key string, size int64) {
+	if e, ok := d.index[key]; ok {
+		d.bytes += size - e.size
+		e.size = size
+		d.seq++
+		e.seq = d.seq
+		return
+	}
+	d.seq++
+	d.index[key] = &diskEntry{size: size, seq: d.seq}
+	d.bytes += size
+}
+
+// dropLocked forgets an entry without touching its file.
+func (d *Disk) dropLocked(key string) {
+	if e, ok := d.index[key]; ok {
+		d.bytes -= e.size
+		delete(d.index, key)
+	}
+}
+
+// evictLocked drops least-recently-used entries (never keep, the entry
+// just written) until the budget holds, returning the keys whose files the
+// caller must remove outside the lock.
+func (d *Disk) evictLocked(keep string) []string {
+	var victims []string
+	for d.bytes > d.budget {
+		oldKey, oldSeq := "", uint64(0)
+		for k, e := range d.index {
+			if k == keep {
+				continue
+			}
+			if oldKey == "" || e.seq < oldSeq {
+				oldKey, oldSeq = k, e.seq
+			}
+		}
+		if oldKey == "" {
+			break
+		}
+		d.dropLocked(oldKey)
+		d.evictions++
+		victims = append(victims, oldKey)
+	}
+	return victims
+}
+
+// rescan walks the store directory, validating and indexing every entry
+// file; invalid files are deleted, already-indexed keys keep their
+// recency.
+func (d *Disk) rescan() error {
+	return filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return nil // a vanished file or unreadable subdir is not fatal
+		}
+		buf, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil
+		}
+		key, val, derr := decode(buf)
+		if derr != nil {
+			os.Remove(path)
+			d.mu.Lock()
+			d.corrupt++
+			d.mu.Unlock()
+			return nil
+		}
+		d.mu.Lock()
+		if _, ok := d.index[key]; !ok {
+			d.index[key] = &diskEntry{size: int64(len(val))}
+			d.bytes += int64(len(val))
+		}
+		d.mu.Unlock()
+		return nil
+	})
+}

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is the in-process LRU store, bounded by a byte budget. It is the
+// default backend: fastest, but private to one process and lost on
+// restart.
+type Memory struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// NewMemory builds an empty in-memory store with the given byte budget.
+func NewMemory(budget int64) *Memory {
+	return &Memory{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the value stored under key, bumping its recency.
+func (c *Memory) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+// Put inserts or refreshes key, then evicts least-recently-used entries
+// until the byte budget holds. Values larger than the whole budget are not
+// cached at all.
+func (c *Memory) Put(key string, val []byte) {
+	if int64(len(val)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*memEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&memEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*memEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.val))
+		c.evictions++
+	}
+}
+
+// Delete removes key if present.
+func (c *Memory) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	ent := el.Value.(*memEntry)
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.bytes -= int64(len(ent.val))
+}
+
+// Keys lists the resident keys, most recently used first.
+func (c *Memory) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.items))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*memEntry).key)
+	}
+	return keys
+}
+
+// Stats snapshots the counters.
+func (c *Memory) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// Close drops every entry.
+func (c *Memory) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.bytes = 0
+	return nil
+}

@@ -1,0 +1,64 @@
+// Package store provides the pluggable result-store backends of the
+// analysis service: a content-addressed key/value interface with an
+// in-memory LRU implementation (fast, private to one process) and a
+// disk-backed implementation (CRC-validated content-addressed files, so
+// several server replicas on one host share cache hits and a restarted
+// server keeps its warm set). The serve layer stores opaque result
+// envelopes; the store never interprets the bytes.
+package store
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats is a point-in-time snapshot of a store's occupancy and traffic
+// counters.
+type Stats struct {
+	Entries int
+	Bytes   int64
+	Hits    int64
+	Misses  int64
+	// Evictions counts entries dropped to keep the byte budget.
+	Evictions int64
+	// Corrupt counts entries that failed integrity validation on read and
+	// were discarded: every corrupt read is a miss, never served data.
+	Corrupt int64
+}
+
+// Store is a bounded content-addressed result store. Implementations are
+// safe for concurrent use. Values are opaque; a Get either returns exactly
+// the bytes a Put stored under the key, or reports a miss — a store must
+// never return partially written or corrupted data.
+type Store interface {
+	// Get returns the value stored under key, bumping its recency.
+	Get(key string) ([]byte, bool)
+	// Put inserts or refreshes key. Values above the store's whole byte
+	// budget are dropped rather than stored.
+	Put(key string, val []byte)
+	// Delete removes key if present.
+	Delete(key string)
+	// Keys lists the resident keys in unspecified order.
+	Keys() []string
+	// Stats snapshots the counters.
+	Stats() Stats
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// Open builds a store from a CLI-style spec: "memory" for the in-process
+// LRU, or "disk:<dir>" for the shared on-disk store rooted at dir.
+func Open(spec string, budget int64) (Store, error) {
+	switch {
+	case spec == "" || spec == "memory":
+		return NewMemory(budget), nil
+	case strings.HasPrefix(spec, "disk:"):
+		dir := strings.TrimPrefix(spec, "disk:")
+		if dir == "" {
+			return nil, fmt.Errorf("store: disk spec needs a directory (disk:<dir>)")
+		}
+		return NewDisk(dir, budget)
+	default:
+		return nil, fmt.Errorf("store: unknown spec %q (want \"memory\" or \"disk:<dir>\")", spec)
+	}
+}

@@ -1,0 +1,299 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// hexKey builds a 64-hex content address like the serve cache keys.
+func hexKey(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+func val(seed string, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(seed[i%len(seed)] + byte(i))
+	}
+	return b
+}
+
+// TestDifferentialMemoryVsDisk drives both implementations through one
+// mixed sequence of puts, gets, replacements and deletes and pins that
+// every Get answers byte-identically — the store behind the serve cache is
+// interchangeable without changing a single served result.
+func TestDifferentialMemoryVsDisk(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	disk, err := NewDisk(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []Store{mem, disk}
+
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = hexKey(fmt.Sprintf("k%d", i))
+	}
+	ops := []struct {
+		op  string
+		key int
+		val []byte
+	}{
+		{"put", 0, val("a", 100)}, {"put", 1, val("b", 2000)},
+		{"get", 0, nil}, {"get", 2, nil},
+		{"put", 0, val("a2", 150)}, // replace
+		{"put", 3, val("c", 1)}, {"put", 4, val("d", 0)},
+		{"del", 1, nil}, {"get", 1, nil},
+		{"put", 5, val("e", 4096)},
+		{"get", 0, nil}, {"get", 3, nil}, {"get", 4, nil}, {"get", 5, nil},
+	}
+	for i, op := range ops {
+		key := keys[op.key]
+		switch op.op {
+		case "put":
+			for _, s := range stores {
+				s.Put(key, op.val)
+			}
+		case "del":
+			for _, s := range stores {
+				s.Delete(key)
+			}
+		case "get":
+			mv, mok := mem.Get(key)
+			dv, dok := disk.Get(key)
+			if mok != dok {
+				t.Fatalf("op %d: presence diverged for %s: memory=%v disk=%v", i, key[:8], mok, dok)
+			}
+			if !bytes.Equal(mv, dv) {
+				t.Fatalf("op %d: value diverged for %s: %d vs %d bytes", i, key[:8], len(mv), len(dv))
+			}
+		}
+	}
+	ms, ds := mem.Stats(), disk.Stats()
+	if ms.Entries != ds.Entries {
+		t.Errorf("entry count diverged: memory=%d disk=%d", ms.Entries, ds.Entries)
+	}
+	if ms.Hits != ds.Hits || ms.Misses != ds.Misses {
+		t.Errorf("traffic diverged: memory=%d/%d disk=%d/%d hits/misses", ms.Hits, ms.Misses, ds.Hits, ds.Misses)
+	}
+}
+
+// TestDiskCorruptionFallsThrough flips one payload byte on disk and checks
+// the CRC catches it: the read misses (so the caller recomputes), the file
+// is discarded, and the corruption is counted — garbage is never served.
+func TestDiskCorruptionFallsThrough(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey("victim")
+	want := val("payload", 512)
+	d.Put(key, want)
+	if got, ok := d.Get(key); !ok || !bytes.Equal(got, want) {
+		t.Fatal("clean entry unreadable")
+	}
+
+	// Flip a byte near the end of the payload, behind the CRC's back.
+	path := filepath.Join(dir, key[:2], key)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-5] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := d.Get(key); ok {
+		t.Fatalf("corrupt entry served: %d bytes", len(got))
+	}
+	if st := d.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt file not discarded")
+	}
+	// The slot is reusable: a fresh Put serves again.
+	d.Put(key, want)
+	if got, ok := d.Get(key); !ok || !bytes.Equal(got, want) {
+		t.Error("re-put after corruption unreadable")
+	}
+}
+
+// TestDiskHeaderCorruption covers the non-payload failure shapes: bad
+// magic, truncation below the header, and a key mismatch (a valid file
+// squatting on another key's path).
+func TestDiskHeaderCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey("h")
+	d.Put(key, val("v", 64))
+	path := filepath.Join(dir, key[:2], key)
+
+	cases := []struct {
+		name  string
+		wreck func([]byte) []byte
+	}{
+		{"bad_magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"truncated", func(b []byte) []byte { return b[:7] }},
+		{"wrong_key", func(b []byte) []byte { return encode(hexKey("other"), []byte("v")) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d.Put(key, val("v", 64))
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.wreck(buf), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.Get(key); ok {
+				t.Error("wrecked entry served")
+			}
+		})
+	}
+}
+
+// TestDiskSurvivesReopen pins the restart story: a fresh store over the
+// same directory finds the previous process's entries.
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey("persist")
+	want := val("w", 256)
+	d.Put(key, want)
+	d.Close()
+
+	d2, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d2.Get(key); !ok || !bytes.Equal(got, want) {
+		t.Fatal("entry lost across reopen")
+	}
+	if got := d2.Keys(); len(got) != 1 || got[0] != key {
+		t.Errorf("Keys after reopen = %v", got)
+	}
+}
+
+// TestDiskSharedBetweenReplicas pins the replica story: two stores over
+// one directory share hits, including keys the other replica wrote after
+// this one opened.
+func TestDiskSharedBetweenReplicas(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey("shared")
+	want := val("s", 128)
+	a.Put(key, want)
+	if got, ok := b.Get(key); !ok || !bytes.Equal(got, want) {
+		t.Fatal("replica b missed a's write")
+	}
+	if st := b.Stats(); st.Hits != 1 {
+		t.Errorf("replica b hits = %d, want 1", st.Hits)
+	}
+}
+
+// TestDiskEviction checks the byte budget holds by dropping the
+// least-recently-used entries and their files.
+func TestDiskEviction(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 10*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = hexKey(fmt.Sprintf("e%d", i))
+		d.Put(keys[i], val("x", 8))
+	}
+	st := d.Stats()
+	if st.Entries != 10 || st.Bytes != 80 {
+		t.Errorf("entries/bytes = %d/%d, want 10/80", st.Entries, st.Bytes)
+	}
+	if _, ok := d.Get(keys[0]); ok {
+		t.Error("oldest key survived eviction")
+	}
+	if _, ok := d.Get(keys[19]); !ok {
+		t.Error("newest key evicted")
+	}
+	// Oversized values are not stored at all.
+	d.Put(hexKey("big"), val("b", 81))
+	if _, ok := d.Get(hexKey("big")); ok {
+		t.Error("oversized entry stored")
+	}
+}
+
+// TestOpenSpec covers the CLI spec parser.
+func TestOpenSpec(t *testing.T) {
+	if s, err := Open("memory", 1<<10); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*Memory); !ok {
+		t.Errorf("memory spec opened %T", s)
+	}
+	dir := t.TempDir()
+	if s, err := Open("disk:"+dir, 1<<10); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*Disk); !ok {
+		t.Errorf("disk spec opened %T", s)
+	}
+	for _, bad := range []string{"disk:", "redis://x", "tape"} {
+		if _, err := Open(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestMemoryLRU pins the memory store's recency order (moved here from
+// the serve package when the cache went behind the Store interface).
+func TestMemoryLRU(t *testing.T) {
+	c := NewMemory(100)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty store")
+	}
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("miss on resident entry a")
+	}
+	// a is now MRU; inserting c (40 bytes) over the 100-byte budget must
+	// evict b, the LRU entry, not a.
+	c.Put("c", make([]byte, 40))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not honored")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently-used a was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries, 80 bytes", st)
+	}
+	if got := c.Keys(); len(got) != 2 {
+		t.Errorf("Keys = %v", got)
+	}
+	c.Delete("a")
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 40 {
+		t.Errorf("stats after delete = %+v", st)
+	}
+}
