@@ -28,7 +28,7 @@ func runServe(args []string) {
 		shards        = fs.Int("shards", 1, "worker shards; jobs are routed by hashing their content address")
 		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "analysis workers per shard")
 		queueDepth    = fs.Int("queue", 64, "per-shard queue depth; submissions beyond it get 429")
-		storeSpec     = fs.String("store", "memory", `result store: "memory" or "disk:<dir>" (shared, survives restarts)`)
+		storeSpec     = fs.String("store", "memory", `result store: "memory", "disk:<dir>" (shared, survives restarts), or "chaos:seed=N,err=P,torn=P,lat=D:<inner>" (deterministic fault injection for resilience testing)`)
 		cacheMB       = fs.Int("cache-mb", 64, "result store byte budget in MiB")
 		authFile      = fs.String("auth-file", "", `tenant declarations JSON ({"tenants": [{"name", "key", "quota", "weight"}]}); empty disables auth`)
 		auditInterval = fs.Duration("audit-interval", 0, "background audit period re-executing sampled cached entries (0 disables)")
@@ -36,9 +36,13 @@ func runServe(args []string) {
 		jobTimeout    = fs.Duration("job-timeout", 60*time.Second, "per-job run timeout (requests may only lower it)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight jobs")
 		pprofOn       = fs.Bool("pprof", false, "mount /debug/pprof/ handlers")
+		journalDir    = fs.String("journal", "", "write-ahead job journal directory: accepted jobs are durable before they are acknowledged, and a restart over the same directory replays every incomplete job (empty disables)")
+		retryMax      = fs.Int("retry-max", 3, "total execution attempts per job (first run plus transient-failure retries)")
+		breakerN      = fs.Int("breaker-threshold", 5, "consecutive store failures that trip the circuit breaker into degraded in-memory fallback mode")
+		breakerWait   = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing the store again")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pflow serve [-addr :7077] [-shards N] [-workers N] [-queue N] [-store memory|disk:DIR] [-cache-mb N] [-auth-file F] [-audit-interval D] [-job-timeout D] [-pprof]")
+		fmt.Fprintln(os.Stderr, "usage: pflow serve [-addr :7077] [-shards N] [-workers N] [-queue N] [-store memory|disk:DIR|chaos:...:DIR] [-cache-mb N] [-journal DIR] [-retry-max N] [-breaker-threshold N] [-breaker-cooldown D] [-auth-file F] [-audit-interval D] [-job-timeout D] [-pprof]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -61,20 +65,29 @@ func runServe(args []string) {
 	}
 
 	srv, err := serve.NewServer(serve.Options{
-		Shards:        *shards,
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		Store:         st,
-		Tenants:       tenants,
-		AuditInterval: *auditInterval,
-		AuditSample:   *auditSample,
-		JobTimeout:    *jobTimeout,
-		EnablePprof:   *pprofOn,
+		Shards:           *shards,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		Store:            st,
+		Tenants:          tenants,
+		AuditInterval:    *auditInterval,
+		AuditSample:      *auditSample,
+		JobTimeout:       *jobTimeout,
+		EnablePprof:      *pprofOn,
+		JournalDir:       *journalDir,
+		RetryMax:         *retryMax,
+		BreakerThreshold: *breakerN,
+		BreakerCooldown:  *breakerWait,
 	})
 	if err != nil {
 		fail(err)
 	}
 	expvar.Publish("perflow_serve", srv.Metrics())
+	if *journalDir != "" {
+		if n := len(srv.RecoveredJobs()); n > 0 {
+			fmt.Fprintf(os.Stderr, "pflow serve: replayed %d incomplete jobs from journal %s\n", n, *journalDir)
+		}
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -88,19 +88,19 @@ type TenantResult struct {
 
 // Result is one scenario's measurements.
 type Result struct {
-	Scenario     string         `json:"scenario"`
-	Shards       int            `json:"shards"`
-	Workers      int            `json:"workers"`
-	Store        string         `json:"store"`
-	Jobs         int            `json:"jobs"`
-	Concurrency  int            `json:"concurrency"`
-	ElapsedMS    float64        `json:"elapsed_ms"`
-	JobsPerSec   float64        `json:"jobs_per_sec"`
+	Scenario    string  `json:"scenario"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Store       string  `json:"store"`
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
 	// StoreLatencyMS is the injected per-Put commit latency (0 = none).
 	StoreLatencyMS float64        `json:"store_latency_ms,omitempty"`
 	Errors         int            `json:"errors"`
 	Retries429     int            `json:"retries_429"`
-	Tenants      []TenantResult `json:"tenants"`
+	Tenants        []TenantResult `json:"tenants"`
 	// FairnessRatio is max tenant p99 over median tenant p99; 1.0 is
 	// perfectly fair, and the acceptance bar is <= 3.
 	FairnessRatio float64 `json:"fairness_ratio"`
@@ -333,9 +333,9 @@ type latencyStore struct {
 	d time.Duration
 }
 
-func (l *latencyStore) Put(key string, val []byte) {
+func (l *latencyStore) Put(key string, val []byte) error {
 	time.Sleep(l.d)
-	l.Store.Put(key, val)
+	return l.Store.Put(key, val)
 }
 
 func storeName(spec string) string {

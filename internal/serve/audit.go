@@ -117,7 +117,19 @@ func (s *Server) auditLoop(ctx context.Context) {
 // across cycles) and flag drift. It is the unit the background loop
 // repeats, exported for deterministic tests and operational tooling.
 func (s *Server) AuditOnce(ctx context.Context) AuditSummary {
-	keys := s.cache.Keys()
+	keys, kerr := s.cache.Keys()
+	if kerr != nil {
+		// A backend that cannot even list is a cycle of errors, not drift.
+		a := s.audit
+		a.mu.Lock()
+		a.cycles++
+		a.errors++
+		a.lastRun = time.Now()
+		a.mu.Unlock()
+		s.m.auditCycles.Add(1)
+		s.m.auditErrors.Add(1)
+		return AuditSummary{Errors: 1}
+	}
 	sort.Strings(keys)
 	a := s.audit
 	a.mu.Lock()

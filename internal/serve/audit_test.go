@@ -4,10 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"perflow"
+	"perflow/internal/serve/store"
 )
 
 // The audit e2e: seed the cache with one genuine entry and one
@@ -155,5 +159,129 @@ func TestAuditLoopRuns(t *testing.T) {
 			t.Fatalf("audit loop never cycled: %+v", view)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// closeTrackingStore wraps a store and counts operations arriving after
+// Close — the observable symptom of a shutdown-ordering bug where the
+// audit loop (or a worker) outlives the store it writes through.
+type closeTrackingStore struct {
+	store.Store
+	closed        atomic.Bool
+	opsAfterClose atomic.Int64
+}
+
+func (c *closeTrackingStore) note() {
+	if c.closed.Load() {
+		c.opsAfterClose.Add(1)
+	}
+}
+
+func (c *closeTrackingStore) Get(key string) ([]byte, bool, error) {
+	c.note()
+	return c.Store.Get(key)
+}
+
+func (c *closeTrackingStore) Put(key string, val []byte) error {
+	c.note()
+	return c.Store.Put(key, val)
+}
+
+func (c *closeTrackingStore) Delete(key string) error {
+	c.note()
+	return c.Store.Delete(key)
+}
+
+func (c *closeTrackingStore) Keys() ([]string, error) {
+	c.note()
+	return c.Store.Keys()
+}
+
+func (c *closeTrackingStore) Close() error {
+	c.closed.Store(true)
+	return c.Store.Close()
+}
+
+// TestAuditShutdownClean drains the server while the audit loop is
+// actively cycling (1ms interval over re-executing entries) and asserts
+// the shutdown is clean: no store operation lands after the store closes,
+// and no goroutine outlives Drain. Run under -race in CI, this is the
+// audit loop's shutdown-ordering regression test.
+func TestAuditShutdownClean(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	tracked := &closeTrackingStore{Store: store.NewMemory(1 << 20)}
+	s := New(Options{
+		Workers: 2, QueueDepth: 8,
+		AuditInterval: time.Millisecond, AuditSample: 8,
+		Store: tracked,
+	})
+
+	// Seed entries so every audit cycle has real re-execution work, then
+	// keep one entry perpetually drifting so cycles also exercise the
+	// flag-and-evict write path (cache.Delete) right up to shutdown.
+	req := SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "cg", Analysis: "profile", Ranks: 4}}
+	job, err := s.Submit(req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Await(context.Background(), job)
+	if err != nil || v.State != StateDone {
+		t.Fatalf("seed job: %v / %+v", err, v)
+	}
+	creq, result, ok := s.cache.Entry(job.Key)
+	if !ok {
+		t.Fatal("seed entry missing")
+	}
+	var jr JobResult
+	if err := json.Unmarshal(result, &jr); err != nil {
+		t.Fatal(err)
+	}
+	jr.Report = "stale\n"
+	mutated, err := json.Marshal(&jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var reseed sync.WaitGroup
+	reseed.Add(1)
+	go func() {
+		defer reseed.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.SeedCacheEntry(job.Key, creq, mutated)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Let the loop run a few audit cycles, then drain mid-flight. The
+	// reseeder stops first: it is a client, and only the server's own
+	// goroutines are under test for post-close writes.
+	time.Sleep(25 * time.Millisecond)
+	close(stop)
+	reseed.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if n := tracked.opsAfterClose.Load(); n != 0 {
+		t.Errorf("%d store operations after Close — audit loop or worker outlived the store", n)
+	}
+
+	// Every server goroutine (workers, audit loop) must have unwound.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after drain — leak", before, g)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"hash/crc32"
 
 	"perflow"
 	"perflow/internal/serve/store"
@@ -19,12 +20,20 @@ type resultCache struct {
 
 // storedEntry is the envelope written to the store. Result stays a
 // RawMessage so cached bytes round-trip exactly — a cache hit serves the
-// very bytes the original execution produced.
+// very bytes the original execution produced. CRC covers the result bytes:
+// the disk store's file CRC catches torn files, but a backend that tears a
+// value without tearing its own framing (a chaos store, a remote KV)
+// slips past it, and the serve layer must never serve a half-result. The
+// envelope version is 2; v1 entries (pre-CRC) decode as a miss and are
+// recomputed.
 type storedEntry struct {
 	V       int                     `json:"v"`
+	CRC     uint32                  `json:"crc"`
 	Request perflow.AnalysisRequest `json:"request"`
 	Result  json.RawMessage         `json:"result"`
 }
+
+const entryVersion = 2
 
 func newResultCache(st store.Store) *resultCache {
 	return &resultCache{store: st}
@@ -36,16 +45,19 @@ func (c *resultCache) Get(key string) ([]byte, bool) {
 	return result, ok
 }
 
-// Entry returns the cached request and result bytes for key. An envelope
-// that fails to decode (e.g. written by an incompatible version) is
-// dropped and reported as a miss.
+// Entry returns the cached request and result bytes for key. A backend
+// error reads as a miss — the caller recomputes, which is always safe for
+// a content-addressed cache. An envelope that fails to decode, carries the
+// wrong version, or fails its CRC (a torn write the backend committed) is
+// deleted and reported as a miss: corruption is never served.
 func (c *resultCache) Entry(key string) (perflow.AnalysisRequest, []byte, bool) {
-	raw, ok := c.store.Get(key)
-	if !ok {
+	raw, ok, err := c.store.Get(key)
+	if err != nil || !ok {
 		return perflow.AnalysisRequest{}, nil, false
 	}
 	var ent storedEntry
-	if err := json.Unmarshal(raw, &ent); err != nil || ent.V != 1 {
+	if jerr := json.Unmarshal(raw, &ent); jerr != nil || ent.V != entryVersion ||
+		ent.CRC != crc32.ChecksumIEEE(ent.Result) {
 		c.store.Delete(key)
 		return perflow.AnalysisRequest{}, nil, false
 	}
@@ -53,20 +65,26 @@ func (c *resultCache) Entry(key string) (perflow.AnalysisRequest, []byte, bool) 
 }
 
 // Put stores a finished job's result under its content address, alongside
-// the request that produced it.
-func (c *resultCache) Put(key string, req perflow.AnalysisRequest, result []byte) {
-	raw, err := json.Marshal(storedEntry{V: 1, Request: req, Result: result})
+// the request that produced it. The returned error is the backend's — with
+// the circuit breaker in front (the server's default) it is always nil.
+func (c *resultCache) Put(key string, req perflow.AnalysisRequest, result []byte) error {
+	raw, err := json.Marshal(storedEntry{
+		V:       entryVersion,
+		CRC:     crc32.ChecksumIEEE(result),
+		Request: req,
+		Result:  result,
+	})
 	if err != nil {
-		return
+		return err
 	}
-	c.store.Put(key, raw)
+	return c.store.Put(key, raw)
 }
 
 // Delete evicts one entry (the audit loop's drift path).
 func (c *resultCache) Delete(key string) { c.store.Delete(key) }
 
 // Keys lists the resident content addresses.
-func (c *resultCache) Keys() []string { return c.store.Keys() }
+func (c *resultCache) Keys() ([]string, error) { return c.store.Keys() }
 
 // Stats snapshots the backing store's counters.
 func (c *resultCache) Stats() store.Stats { return c.store.Stats() }

@@ -61,7 +61,7 @@ func TestResultCacheUndecodableEnvelope(t *testing.T) {
 	if _, ok := c.Get("bad"); ok {
 		t.Fatal("undecodable envelope served as a hit")
 	}
-	if _, ok := st.Get("bad"); ok {
+	if _, ok, _ := st.Get("bad"); ok {
 		t.Error("undecodable envelope not dropped from the store")
 	}
 
@@ -70,6 +70,16 @@ func TestResultCacheUndecodableEnvelope(t *testing.T) {
 	if _, _, ok := c.Entry("v9"); ok {
 		t.Fatal("wrong-version envelope served as a hit")
 	}
+
+	// And for a current-version envelope whose CRC does not match its
+	// result bytes — the shape a torn backend write leaves behind.
+	st.Put("torn", []byte(`{"v":2,"crc":12345,"request":{},"result":{"report":"x"}}`))
+	if _, _, ok := c.Entry("torn"); ok {
+		t.Fatal("CRC-mismatched envelope served as a hit")
+	}
+	if _, ok, _ := st.Get("torn"); ok {
+		t.Error("CRC-mismatched envelope not dropped from the store")
+	}
 }
 
 func TestResultCacheDeleteAndKeys(t *testing.T) {
@@ -77,14 +87,14 @@ func TestResultCacheDeleteAndKeys(t *testing.T) {
 	req := testAnalysisRequest()
 	c.Put("a", req, []byte(`{"report":"a"}`))
 	c.Put("b", req, []byte(`{"report":"b"}`))
-	if got := len(c.Keys()); got != 2 {
-		t.Fatalf("Keys() = %d entries, want 2", got)
+	if keys, _ := c.Keys(); len(keys) != 2 {
+		t.Fatalf("Keys() = %d entries, want 2", len(keys))
 	}
 	c.Delete("a")
 	if _, ok := c.Get("a"); ok {
 		t.Error("deleted entry still served")
 	}
-	keys := c.Keys()
+	keys, _ := c.Keys()
 	if len(keys) != 1 || keys[0] != "b" {
 		t.Errorf("Keys() after delete = %v, want [b]", keys)
 	}

@@ -36,6 +36,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withAuth(s.handleCancel))
 	mux.HandleFunc("GET /v1/audit", s.withAuth(s.handleAudit))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -76,9 +77,13 @@ func (s *Server) viewLocked(j *Job, withResult bool) JobView {
 		Tenant:      j.Tenant,
 		State:       j.state,
 		Cached:      j.cached,
+		Recovered:   j.recovered,
 		Error:       j.err,
 		Request:     j.Req,
 		SubmittedAt: j.submitted.UTC(),
+	}
+	if len(j.attempts) > 0 {
+		v.Attempts = append([]AttemptRecord(nil), j.attempts...)
 	}
 	if !j.started.IsZero() {
 		t := j.started.UTC()
@@ -165,28 +170,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tn *tenant
 	case ErrQueueFull:
 		// Backpressure: tell the client when a slot is plausibly free
 		// instead of accepting unbounded work.
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(tn.cfg.Name, key)))
 		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "job queue full")
 	case ErrQuotaExceeded:
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(tn.cfg.Name, key)))
 		writeError(w, http.StatusTooManyRequests, ErrCodeQuotaExceeded,
 			fmt.Sprintf("tenant %q has %d jobs in flight (quota %d)", tn.cfg.Name, tn.cfg.Quota, tn.cfg.Quota))
+	case ErrDeadlineUnmeetable:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(tn.cfg.Name, key)))
+		writeError(w, http.StatusTooManyRequests, ErrCodeDeadline,
+			"queue backlog exceeds the request's timeout budget")
 	case ErrDraining:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(tn.cfg.Name, key)))
 		writeError(w, http.StatusServiceUnavailable, ErrCodeDraining, "server draining")
 	default:
 		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
 	}
 }
 
-// retryAfterSeconds estimates how long until a queue slot frees: one
-// average job latency per queued-jobs-per-worker, floored at 1s.
-func (s *Server) retryAfterSeconds() int {
-	n := int64(s.opts.QueueDepth) / int64(s.opts.Workers)
-	if n < 1 {
-		n = 1
+// retryAfterSeconds estimates how long until a queue slot frees — one
+// average job latency per queued-jobs-per-worker — then spreads the answer
+// over [base, 2*base] so a burst of rejected clients does not come back in
+// one synchronized wave. The spread is a deterministic hash of (tenant,
+// key), not a random draw: the same rejected request is always told the
+// same delay, so wire-level golden tests stay byte-stable.
+func (s *Server) retryAfterSeconds(tenant, key string) int {
+	base := int64(s.opts.QueueDepth) / int64(s.opts.Workers)
+	if base < 1 {
+		base = 1
 	}
-	if n > 30 {
-		n = 30
+	if base > 30 {
+		base = 30
+	}
+	var h uint64 = 14695981039346656037
+	for _, b := range []byte(tenant + "\x00" + key) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	n := base + int64(h%uint64(base+1))
+	if n > 60 {
+		n = 60
 	}
 	return int(n)
 }
@@ -234,15 +257,35 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, tn *tenantS
 	writeJSON(w, http.StatusOK, s.auditSnapshot())
 }
 
+// handleHealth is pure liveness: it answers 200 as long as the process can
+// serve HTTP at all — draining, recovering and degraded included. An
+// orchestrator restarting a pod on liveness failure must not kill a server
+// that is merely finishing its backlog; that distinction lives on /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: whether this server should receive new
+// traffic. Not ready while draining (shutting down), while journal
+// recovery is still re-executing the previous process's backlog, and
+// while the store circuit breaker is open (results would be served
+// degraded from the in-memory fallback).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	recovering := s.recoveredPending > 0
 	s.mu.Unlock()
-	if draining {
+	degraded := s.breaker.Degraded()
+	switch {
+	case draining:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	case recovering:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+	case degraded:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -82,6 +82,34 @@ type JobResult struct {
 	// identical whether or not the submitter asked for it. Empty when the
 	// engine cannot summarize the program exactly.
 	Prediction string `json:"prediction,omitempty"`
+	// Attempts is the job's failed-attempt history: one record per
+	// execution attempt that did NOT produce this result, oldest first. A
+	// job that succeeds on its first attempt has none, so the cached bytes
+	// of a cleanly-executed job are identical with or without the retry
+	// engine. The audit loop's drift comparison ignores this field — a
+	// result reached after retries is not drift.
+	Attempts []AttemptRecord `json:"attempts,omitempty"`
+	// Degraded reports the result was cached while the store circuit
+	// breaker was open: it lives in the in-memory fallback and may not
+	// survive a restart until the breaker closes and flushes. Ignored by
+	// the audit drift comparison.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// AttemptRecord is one failed execution attempt in a job's retry history.
+type AttemptRecord struct {
+	// Attempt is the 1-based attempt number.
+	Attempt int `json:"attempt"`
+	// Class is the failure classification (transient, timeout, canceled,
+	// permanent) that drove the retry decision.
+	Class string `json:"class"`
+	// Error is the attempt's failure message.
+	Error string `json:"error"`
+	// ElapsedUS is how long the attempt ran, microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// BackoffUS is the jittered delay slept before the next attempt,
+	// microseconds (0 on the final attempt of a failed job).
+	BackoffUS int64 `json:"backoff_us,omitempty"`
 }
 
 // Job is one submitted analysis with its lifecycle state. Mutable fields
@@ -99,6 +127,18 @@ type Job struct {
 	err        string
 	cached     bool
 	resultJSON []byte // marshaled JobResult, set when state == StateDone
+
+	// attempts accumulates failed execution attempts (the retry history);
+	// embedded into the result on completion.
+	attempts []AttemptRecord
+	// recovered marks a job re-enqueued from the journal after a restart.
+	recovered bool
+	// quotaCharged marks a job that holds a tenant in-flight slot;
+	// recovered jobs don't (their slot died with the old process).
+	quotaCharged bool
+	// seq is the server-wide submission sequence the job ID was minted
+	// from, journaled so a restarted server resumes numbering above it.
+	seq uint64
 
 	submitted time.Time
 	started   time.Time
@@ -135,7 +175,9 @@ type JobView struct {
 	Tenant      string          `json:"tenant,omitempty"`
 	State       State           `json:"state"`
 	Cached      bool            `json:"cached,omitempty"`
+	Recovered   bool            `json:"recovered,omitempty"`
 	Error       string          `json:"error,omitempty"`
+	Attempts    []AttemptRecord `json:"attempts,omitempty"`
 	Request     SubmitRequest   `json:"request"`
 	SubmittedAt time.Time       `json:"submitted_at"`
 	StartedAt   *time.Time      `json:"started_at,omitempty"`
@@ -146,16 +188,17 @@ type JobView struct {
 // Machine-readable error codes of the /v1 error envelope. Clients branch
 // on these, never on message text.
 const (
-	ErrCodeBadRequest      = "bad_request"      // 400: malformed body
-	ErrCodeUnauthorized    = "unauthorized"     // 401: missing/unknown API key
-	ErrCodeInvalidRequest  = "invalid_request"  // 422: shape/limits/faults/policy
-	ErrCodeLintRejected    = "lint_rejected"    // 422: static diagnostics gate
-	ErrCodeQueueFull       = "queue_full"       // 429: shard queue backpressure
-	ErrCodeQuotaExceeded   = "quota_exceeded"   // 429: tenant in-flight quota
-	ErrCodeDraining        = "draining"         // 503
-	ErrCodeNotFound        = "not_found"        // 404
-	ErrCodeAlreadyFinished = "already_finished" // 409
-	ErrCodeInternal        = "internal"         // 500
+	ErrCodeBadRequest      = "bad_request"         // 400: malformed body
+	ErrCodeUnauthorized    = "unauthorized"        // 401: missing/unknown API key
+	ErrCodeInvalidRequest  = "invalid_request"     // 422: shape/limits/faults/policy
+	ErrCodeLintRejected    = "lint_rejected"       // 422: static diagnostics gate
+	ErrCodeQueueFull       = "queue_full"          // 429: shard queue backpressure
+	ErrCodeQuotaExceeded   = "quota_exceeded"      // 429: tenant in-flight quota
+	ErrCodeDeadline        = "deadline_unmeetable" // 429: backlog exceeds the request's timeout budget
+	ErrCodeDraining        = "draining"            // 503
+	ErrCodeNotFound        = "not_found"           // 404
+	ErrCodeAlreadyFinished = "already_finished"    // 409
+	ErrCodeInternal        = "internal"            // 500
 )
 
 // apiError is the single versioned error envelope of every non-2xx /v1

@@ -22,11 +22,11 @@ var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 
 // latencyHist is a fixed-bucket latency histogram implementing expvar.Var.
 type latencyHist struct {
-	mu      sync.Mutex
-	counts  []int64 // len(latencyBucketsMS)+1
-	count   int64
-	sumUS   int64
-	maxUS   int64
+	mu     sync.Mutex
+	counts []int64 // len(latencyBucketsMS)+1
+	count  int64
+	sumUS  int64
+	maxUS  int64
 }
 
 func newLatencyHist() *latencyHist {
@@ -72,15 +72,18 @@ func (h *latencyHist) String() string {
 
 // metrics aggregates every serving counter the /metrics endpoint exposes.
 type metrics struct {
-	jobsSubmitted     expvar.Int // accepted onto a shard queue (cache hits excluded)
-	jobsQueued        expvar.Int // gauge: waiting across all shard queues now
-	jobsRunning       expvar.Int // gauge: executing now
-	jobsDone          expvar.Int
-	jobsFailed        expvar.Int
-	jobsCanceled      expvar.Int
-	jobsRejected      expvar.Int // 429 shard-queue backpressure rejections
-	jobsQuotaRejected expvar.Int // 429 tenant-quota rejections
-	shards            expvar.Int // gauge: configured shard count
+	jobsSubmitted        expvar.Int // accepted onto a shard queue (cache hits excluded)
+	jobsQueued           expvar.Int // gauge: waiting across all shard queues now
+	jobsRunning          expvar.Int // gauge: executing now
+	jobsDone             expvar.Int
+	jobsFailed           expvar.Int
+	jobsCanceled         expvar.Int
+	jobsRejected         expvar.Int // 429 shard-queue backpressure rejections
+	jobsQuotaRejected    expvar.Int // 429 tenant-quota rejections
+	jobsDeadlineRejected expvar.Int // 429 deadline-budget admission rejections
+	jobsRetried          expvar.Int // execution attempts retried after a transient failure
+	jobsRecovered        expvar.Int // jobs re-enqueued from the journal after a restart
+	shards               expvar.Int // gauge: configured shard count
 
 	cacheHits      expvar.Int
 	cacheMisses    expvar.Int
@@ -88,6 +91,11 @@ type metrics struct {
 	cacheCorrupt   expvar.Int // CRC-failed reads discarded by the store
 	cacheBytes     expvar.Int // gauge
 	cacheEntries   expvar.Int // gauge
+
+	storeErrors    expvar.Int // gauge: backend-error operations (from store stats)
+	storeDegraded  expvar.Int // gauge: 1 while the store circuit breaker is open
+	breakerTrips   expvar.Int // gauge: times the breaker has tripped open
+	journalRecords expvar.Int // gauge: records the job journal has written
 
 	auditCycles  expvar.Int
 	auditChecked expvar.Int
@@ -127,6 +135,9 @@ func newMetrics() *metrics {
 	m.top.Set("jobs_canceled", &m.jobsCanceled)
 	m.top.Set("jobs_rejected", &m.jobsRejected)
 	m.top.Set("jobs_quota_rejected", &m.jobsQuotaRejected)
+	m.top.Set("jobs_deadline_rejected", &m.jobsDeadlineRejected)
+	m.top.Set("jobs_retried", &m.jobsRetried)
+	m.top.Set("jobs_recovered", &m.jobsRecovered)
 	m.top.Set("shards", &m.shards)
 	m.top.Set("cache_hits", &m.cacheHits)
 	m.top.Set("cache_misses", &m.cacheMisses)
@@ -134,6 +145,10 @@ func newMetrics() *metrics {
 	m.top.Set("cache_corrupt", &m.cacheCorrupt)
 	m.top.Set("cache_bytes", &m.cacheBytes)
 	m.top.Set("cache_entries", &m.cacheEntries)
+	m.top.Set("store_errors", &m.storeErrors)
+	m.top.Set("store_degraded", &m.storeDegraded)
+	m.top.Set("breaker_trips", &m.breakerTrips)
+	m.top.Set("journal_records", &m.journalRecords)
 	m.top.Set("audit_cycles", &m.auditCycles)
 	m.top.Set("audit_checked", &m.auditChecked)
 	m.top.Set("audit_drift", &m.auditDrift)
@@ -185,6 +200,12 @@ func (m *metrics) syncCache(st store.Stats) {
 	m.cacheCorrupt.Set(st.Corrupt)
 	m.cacheBytes.Set(st.Bytes)
 	m.cacheEntries.Set(int64(st.Entries))
+	m.storeErrors.Set(st.Errors)
+	if st.Degraded {
+		m.storeDegraded.Set(1)
+	} else {
+		m.storeDegraded.Set(0)
+	}
 }
 
 // Var returns the metric tree as one expvar.Var (a Map rendering to JSON).

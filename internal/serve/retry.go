@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"perflow/internal/serve/store"
+)
+
+// Error classification for the retry engine. A failed execution attempt is
+// retried only when the failure class says a retry can plausibly succeed:
+// transient backend trouble and pass timeouts are worth another attempt,
+// cancellation and permanent failures (lint rejections, invalid programs,
+// panics) are not — retrying those burns worker time to reach the same
+// answer.
+
+// errClass buckets an execution failure for the retry decision.
+type errClass string
+
+const (
+	// classTransient: store I/O trouble, injected chaos faults, anything
+	// implementing Transient() — expected to clear on its own.
+	classTransient errClass = "transient"
+	// classTimeout: the attempt exhausted its per-attempt deadline. Queue
+	// churn or a cold start can cause one; a retry gets a fresh budget.
+	classTimeout errClass = "timeout"
+	// classCanceled: the client or shutdown canceled the job. Never retried.
+	classCanceled errClass = "canceled"
+	// classPermanent: deterministic failures (bad program, panic). A retry
+	// would fail identically.
+	classPermanent errClass = "permanent"
+)
+
+// Transient marks an error as retryable regardless of its concrete type —
+// the extension point for analyses that surface their own recoverable
+// failures.
+type Transient interface{ Transient() bool }
+
+// classify buckets err. Order matters: a canceled context wins over
+// everything (the caller gave up), then deadline, then transience.
+func classify(err error) errClass {
+	switch {
+	case err == nil:
+		return classPermanent // callers never classify nil; keep it non-retryable
+	case errors.Is(err, context.Canceled):
+		return classCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return classTimeout
+	case errors.Is(err, store.ErrUnavailable):
+		return classTransient
+	}
+	var tr Transient
+	if errors.As(err, &tr) && tr.Transient() {
+		return classTransient
+	}
+	return classPermanent
+}
+
+// retryable reports whether a failure class is worth another attempt.
+func (c errClass) retryable() bool {
+	return c == classTransient || c == classTimeout
+}
+
+// backoffDelay computes the sleep before attempt n (1-based: the delay
+// after the n-th failure) as capped exponential backoff with full jitter —
+// the AWS-style policy that both spreads retries and bounds the tail.
+//
+// The jitter is deterministic: a hash of (key, attempt) drives the uniform
+// draw, so a given job's retry schedule is a pure function of its content
+// address. Tests and the crash harness replay identical schedules, while
+// across distinct jobs the draws are as good as random — the fleet still
+// decorrelates.
+func backoffDelay(key string, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	ceil := base
+	for i := 1; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	// FNV-1a over the key, mixed with the attempt, then splitmix64-style
+	// finalization for a uniform 64-bit sample.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt)
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	// Full jitter: uniform in [0, ceil). Floor at 1ms so a retry never
+	// busy-loops.
+	d := time.Duration(h % uint64(ceil))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

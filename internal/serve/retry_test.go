@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"perflow/internal/serve/store"
+)
+
+// transientErr implements the Transient marker interface.
+type transientErr struct{ msg string }
+
+func (e transientErr) Error() string   { return e.msg }
+func (e transientErr) Transient() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want errClass
+	}{
+		{"nil", nil, classPermanent},
+		{"canceled", context.Canceled, classCanceled},
+		{"wrapped canceled", fmt.Errorf("run: %w", context.Canceled), classCanceled},
+		{"deadline", context.DeadlineExceeded, classTimeout},
+		{"wrapped deadline", fmt.Errorf("pass: %w", context.DeadlineExceeded), classTimeout},
+		{"store unavailable", store.ErrUnavailable, classTransient},
+		{"wrapped unavailable", fmt.Errorf("get: %w", store.ErrUnavailable), classTransient},
+		{"transient marker", transientErr{"flaky backend"}, classTransient},
+		{"plain error", errors.New("bad program"), classPermanent},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.err); got != tc.want {
+			t.Errorf("classify(%s) = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+	// Canceled wins over everything: a canceled context wrapping a
+	// transient failure must not be retried — the caller gave up.
+	both := fmt.Errorf("%w during %w", context.Canceled, store.ErrUnavailable)
+	if got := classify(both); got != classCanceled {
+		t.Errorf("classify(canceled+transient) = %s, want canceled", got)
+	}
+
+	if classTransient.retryable() != true || classTimeout.retryable() != true {
+		t.Error("transient/timeout must be retryable")
+	}
+	if classCanceled.retryable() || classPermanent.retryable() {
+		t.Error("canceled/permanent must not be retryable")
+	}
+}
+
+func TestBackoffDelayDeterministicAndCapped(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+
+	// Pure function of (key, attempt): replaying yields the same schedule.
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := backoffDelay("job-key", attempt, base, max)
+		b := backoffDelay("job-key", attempt, base, max)
+		if a != b {
+			t.Fatalf("attempt %d: schedule not deterministic: %s vs %s", attempt, a, b)
+		}
+		// Full jitter: always within [1ms, ceil] where ceil = min(base*2^(n-1), max).
+		ceil := base << uint(attempt-1)
+		if ceil > max || ceil <= 0 {
+			ceil = max
+		}
+		if a < time.Millisecond || a > ceil {
+			t.Fatalf("attempt %d: delay %s outside [1ms, %s]", attempt, a, ceil)
+		}
+	}
+
+	// Distinct keys draw distinct jitter (overwhelmingly likely over 16 keys).
+	same := true
+	first := backoffDelay("key-0", 3, base, max)
+	for i := 1; i < 16; i++ {
+		if backoffDelay(fmt.Sprintf("key-%d", i), 3, base, max) != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("16 distinct keys drew identical jitter — jitter is not keyed")
+	}
+
+	if d := backoffDelay("k", 3, 0, max); d != 0 {
+		t.Errorf("zero base must disable backoff, got %s", d)
+	}
+}
+
+// TestRetryTransientSucceeds injects transient failures on the first two
+// attempts and asserts the third succeeds, with the full retry history in
+// the result and view.
+func TestRetryTransientSucceeds(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Workers:   1,
+		RetryMax:  3,
+		RetryBase: time.Millisecond, RetryMaxDelay: 4 * time.Millisecond,
+	})
+	var mu sync.Mutex
+	calls := 0
+	s.mu.Lock()
+	s.testExecErrHook = func(j *Job, attempt int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if attempt <= 2 {
+			return transientErr{fmt.Sprintf("injected fault on attempt %d", attempt)}
+		}
+		return nil
+	}
+	s.mu.Unlock()
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		map[string]any{"workload": "cg", "analysis": "profile", "ranks": 4})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	v := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("job = %s (%s), want done after retries", v.State, v.Error)
+	}
+	mu.Lock()
+	if calls != 3 {
+		t.Errorf("hook called %d times, want 3 (two failures + one success)", calls)
+	}
+	mu.Unlock()
+
+	// The view carries one record per failed attempt, classified and with
+	// a backoff delay (both failures were followed by a retry).
+	if len(v.Attempts) != 2 {
+		t.Fatalf("view attempts = %d, want 2: %+v", len(v.Attempts), v.Attempts)
+	}
+	for i, a := range v.Attempts {
+		if a.Attempt != i+1 || a.Class != string(classTransient) || a.BackoffUS <= 0 {
+			t.Errorf("attempt record %d = %+v, want attempt=%d class=transient backoff>0", i, a, i+1)
+		}
+	}
+
+	// The history also rides inside the cached result payload.
+	var result JobResult
+	mustUnmarshal(t, v.Result, &result)
+	if len(result.Attempts) != 2 {
+		t.Errorf("result attempts = %d, want 2", len(result.Attempts))
+	}
+
+	m := metricsSnapshot(t, ts)
+	if got := m["jobs_retried"].(float64); got != 2 {
+		t.Errorf("jobs_retried = %v, want 2", got)
+	}
+}
+
+// TestRetryPermanentFailsImmediately asserts a permanent failure is never
+// retried: one attempt, one record, no backoff.
+func TestRetryPermanentFailsImmediately(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, RetryMax: 5})
+	calls := 0
+	var mu sync.Mutex
+	s.mu.Lock()
+	s.testExecErrHook = func(j *Job, attempt int) error {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return errors.New("deterministic failure")
+	}
+	s.mu.Unlock()
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		map[string]any{"workload": "cg", "analysis": "profile", "ranks": 4})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	v := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if v.State != StateFailed {
+		t.Fatalf("job = %s, want failed", v.State)
+	}
+	mu.Lock()
+	if calls != 1 {
+		t.Errorf("permanent failure executed %d times, want 1", calls)
+	}
+	mu.Unlock()
+	if len(v.Attempts) != 1 || v.Attempts[0].Class != string(classPermanent) || v.Attempts[0].BackoffUS != 0 {
+		t.Errorf("attempts = %+v, want one permanent record with no backoff", v.Attempts)
+	}
+}
+
+// TestRetryExhaustionFails asserts a persistently-transient failure stops
+// at RetryMax attempts and the job fails with the full history.
+func TestRetryExhaustionFails(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Workers: 1, RetryMax: 3,
+		RetryBase: time.Millisecond, RetryMaxDelay: 2 * time.Millisecond,
+	})
+	calls := 0
+	var mu sync.Mutex
+	s.mu.Lock()
+	s.testExecErrHook = func(j *Job, attempt int) error {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return transientErr{"backend still down"}
+	}
+	s.mu.Unlock()
+
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		map[string]any{"workload": "cg", "analysis": "profile", "ranks": 4})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	v := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if v.State != StateFailed {
+		t.Fatalf("job = %s, want failed after exhausting retries", v.State)
+	}
+	mu.Lock()
+	if calls != 3 {
+		t.Errorf("executed %d attempts, want RetryMax=3", calls)
+	}
+	mu.Unlock()
+	if len(v.Attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(v.Attempts))
+	}
+	if last := v.Attempts[2]; last.BackoffUS != 0 {
+		t.Errorf("final attempt has backoff %dus, want 0 (no retry follows)", last.BackoffUS)
+	}
+}
+
+// TestCleanRunCarriesNoHistory pins the byte-stability contract: a job
+// that succeeds first try has no attempts field in its result, so cached
+// bytes are identical with or without the retry engine.
+func TestCleanRunCarriesNoHistory(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		map[string]any{"workload": "cg", "analysis": "profile", "ranks": 4})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	v := waitTerminal(t, ts, decodeView(t, data).ID, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("job = %s, want done", v.State)
+	}
+	if len(v.Attempts) != 0 {
+		t.Errorf("clean run has %d attempt records, want none", len(v.Attempts))
+	}
+	var raw map[string]any
+	mustUnmarshal(t, v.Result, &raw)
+	if _, present := raw["attempts"]; present {
+		t.Error("clean run's result JSON contains an attempts field — cached bytes not stable")
+	}
+	if _, present := raw["degraded"]; present {
+		t.Error("healthy-store result JSON contains a degraded field")
+	}
+}
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+}

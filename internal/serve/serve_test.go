@@ -370,21 +370,33 @@ func TestQueueFullBackpressureAndCancel(t *testing.T) {
 	}
 }
 
-// TestDrainRejectsNewWork: after Drain the health endpoint reports
-// draining and submissions are refused.
+// TestDrainRejectsNewWork: after Drain, readiness flips to 503 and
+// submissions are refused — but liveness stays 200, because a draining
+// process is healthy, just not accepting traffic. An orchestrator that
+// killed pods on liveness during drain would truncate every graceful
+// shutdown.
 func TestDrainRejectsNewWork(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+
+	resp, _ := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: want 200, got %d", resp.StatusCode)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	resp, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after drain: want 200 (liveness), got %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/readyz", nil)
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz after drain: want 503, got %d", resp.StatusCode)
+		t.Fatalf("readyz after drain: want 503, got %d", resp.StatusCode)
 	}
 	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", SubmitRequest{AnalysisRequest: perflow.AnalysisRequest{Workload: "ep", Ranks: 2}})
 	if resp.StatusCode != http.StatusServiceUnavailable {

@@ -83,6 +83,27 @@ func (sh *shard) enqueue(j *Job) error {
 	return nil
 }
 
+// enqueueRecovered appends a journal-recovered job, bypassing the depth
+// bound: these jobs were already acknowledged by the previous process, so
+// rejecting them now would break the write-ahead contract. The backlog can
+// transiently exceed depth by the recovered count; fresh submissions still
+// honor the bound.
+func (sh *shard) enqueueRecovered(j *Job) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrDraining
+	}
+	q, known := sh.queues[j.Tenant]
+	if !known {
+		sh.order = append(sh.order, j.Tenant)
+	}
+	sh.queues[j.Tenant] = append(q, j)
+	sh.queued++
+	sh.cond.Signal()
+	return nil
+}
+
 // dequeue blocks until a job is available or the shard is closed and
 // empty. weight reports a tenant's fair-share weight (>= 1).
 func (sh *shard) dequeue(weight func(tenant string) int) (*Job, bool) {

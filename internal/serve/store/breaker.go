@@ -1,0 +1,233 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a circuit breaker in front of a primary store with an
+// in-memory fallback: the serve layer's answer to a misbehaving backend.
+//
+// Closed (healthy): operations go to the primary. A failed operation is
+// retried nowhere — it falls back to the in-memory store for that one
+// call, and counts toward a consecutive-failure tally. When the tally
+// reaches the threshold the breaker trips open.
+//
+// Open (degraded): every operation is served by the fallback — the server
+// keeps answering (results are still computed and cached in memory) with
+// degraded:true surfaced in job results and /metrics, instead of failing
+// requests against a dead backend. After the cooldown, the next operation
+// probes the primary: success closes the breaker and flushes the fallback
+// into the primary so nothing computed during the outage is lost; failure
+// restarts the cooldown.
+//
+// A Breaker's own operations never return an error: degradation, not
+// propagation, is its whole point. Reads consult the fallback on a primary
+// miss too, so values stranded there by earlier per-call failures stay
+// visible while the breaker is closed.
+type Breaker struct {
+	primary  Store
+	fallback *Memory
+
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	open     bool
+	consec   int       // consecutive primary failures while closed
+	openedAt time.Time // set when tripping and on failed probes
+	trips    int64
+	now      func() time.Time // test hook
+}
+
+// BreakerOptions parameterizes NewBreaker.
+type BreakerOptions struct {
+	// Threshold is how many consecutive primary failures trip the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker serves from the fallback before
+	// probing the primary again (default 5s).
+	Cooldown time.Duration
+	// FallbackBytes is the in-memory fallback's byte budget (default 32 MiB).
+	FallbackBytes int64
+}
+
+// NewBreaker wraps primary with a circuit breaker and a fresh in-memory
+// fallback store.
+func NewBreaker(primary Store, opts BreakerOptions) *Breaker {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	if opts.FallbackBytes <= 0 {
+		opts.FallbackBytes = 32 << 20
+	}
+	return &Breaker{
+		primary:   primary,
+		fallback:  NewMemory(opts.FallbackBytes),
+		threshold: opts.Threshold,
+		cooldown:  opts.Cooldown,
+		now:       time.Now,
+	}
+}
+
+// useFallbackOnly reports whether the breaker is open and still cooling
+// down (no probe yet).
+func (b *Breaker) useFallbackOnly() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open && b.now().Sub(b.openedAt) < b.cooldown
+}
+
+// fail records a primary failure: trip when the consecutive tally reaches
+// the threshold, restart the cooldown on a failed probe.
+func (b *Breaker) fail() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open {
+		b.openedAt = b.now() // failed probe: cool down again
+		return
+	}
+	b.consec++
+	if b.consec >= b.threshold {
+		b.open = true
+		b.trips++
+		b.openedAt = b.now()
+	}
+}
+
+// ok records a primary success; a successful probe closes the breaker and
+// flushes the fallback.
+func (b *Breaker) ok() {
+	b.mu.Lock()
+	wasOpen := b.open
+	b.open = false
+	b.consec = 0
+	b.mu.Unlock()
+	if wasOpen {
+		b.flush()
+	}
+}
+
+// flush copies everything accumulated in the fallback into the (healthy
+// again) primary, best effort, then drops it from the fallback.
+func (b *Breaker) flush() {
+	keys, _ := b.fallback.Keys()
+	for _, k := range keys {
+		val, okv, _ := b.fallback.Get(k)
+		if !okv {
+			continue
+		}
+		if err := b.primary.Put(k, val); err != nil {
+			b.fail()
+			return // primary went bad again mid-flush; keep the rest
+		}
+		b.fallback.Delete(k)
+	}
+}
+
+// Get serves from the primary when healthy, falling back to the in-memory
+// store on failure, on an open breaker, and on a clean primary miss (a
+// value may be stranded in the fallback from an earlier failed Put).
+func (b *Breaker) Get(key string) ([]byte, bool, error) {
+	if b.useFallbackOnly() {
+		v, ok, _ := b.fallback.Get(key)
+		return v, ok, nil
+	}
+	v, ok, err := b.primary.Get(key)
+	if err != nil {
+		b.fail()
+		v, ok, _ = b.fallback.Get(key)
+		return v, ok, nil
+	}
+	// Consult the fallback before recording the success: a successful probe
+	// flushes (and drains) the fallback, and this read must not lose a value
+	// stranded there.
+	if !ok {
+		if fv, fok, _ := b.fallback.Get(key); fok {
+			b.ok()
+			return fv, true, nil
+		}
+	}
+	b.ok()
+	return v, ok, nil
+}
+
+// Put writes to the primary when healthy; a failure (or an open breaker)
+// diverts the write to the fallback so the result is never lost to the
+// caller — at worst it is process-private until the primary heals and the
+// closing flush replays it.
+func (b *Breaker) Put(key string, val []byte) error {
+	if b.useFallbackOnly() {
+		return b.fallback.Put(key, val)
+	}
+	if err := b.primary.Put(key, val); err != nil {
+		b.fail()
+		return b.fallback.Put(key, val)
+	}
+	b.ok()
+	return nil
+}
+
+// Delete removes the key from both sides.
+func (b *Breaker) Delete(key string) error {
+	b.fallback.Delete(key)
+	if b.useFallbackOnly() {
+		return nil
+	}
+	if err := b.primary.Delete(key); err != nil {
+		b.fail()
+	} else {
+		b.ok()
+	}
+	return nil
+}
+
+// Keys lists the primary's keys when healthy, the fallback's when open.
+// (The union is deliberately not computed: while degraded the audit loop
+// should only sample what is actually reachable.)
+func (b *Breaker) Keys() ([]string, error) {
+	if b.useFallbackOnly() {
+		return b.fallback.Keys()
+	}
+	keys, err := b.primary.Keys()
+	if err != nil {
+		b.fail()
+		return b.fallback.Keys()
+	}
+	b.ok()
+	return keys, nil
+}
+
+// Stats reports the primary's counters plus the degraded flag.
+func (b *Breaker) Stats() Stats {
+	st := b.primary.Stats()
+	b.mu.Lock()
+	st.Degraded = b.open
+	b.mu.Unlock()
+	return st
+}
+
+// Close closes both sides.
+func (b *Breaker) Close() error {
+	err := b.primary.Close()
+	b.fallback.Close()
+	return err
+}
+
+// Degraded reports whether the breaker is open (operations served by the
+// in-memory fallback).
+func (b *Breaker) Degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// Trips reports how many times the breaker has tripped open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

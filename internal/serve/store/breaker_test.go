@@ -1,0 +1,297 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyStore fails operations while broken is set; otherwise it behaves
+// like the wrapped memory store.
+type flakyStore struct {
+	*Memory
+	mu     sync.Mutex
+	broken bool
+}
+
+func newFlaky() *flakyStore { return &flakyStore{Memory: NewMemory(1 << 20)} }
+
+func (f *flakyStore) setBroken(b bool) {
+	f.mu.Lock()
+	f.broken = b
+	f.mu.Unlock()
+}
+
+func (f *flakyStore) isBroken() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.broken
+}
+
+func (f *flakyStore) Get(key string) ([]byte, bool, error) {
+	if f.isBroken() {
+		return nil, false, fmt.Errorf("%w: flaky", ErrUnavailable)
+	}
+	return f.Memory.Get(key)
+}
+
+func (f *flakyStore) Put(key string, val []byte) error {
+	if f.isBroken() {
+		return fmt.Errorf("%w: flaky", ErrUnavailable)
+	}
+	return f.Memory.Put(key, val)
+}
+
+func (f *flakyStore) Delete(key string) error {
+	if f.isBroken() {
+		return fmt.Errorf("%w: flaky", ErrUnavailable)
+	}
+	return f.Memory.Delete(key)
+}
+
+func (f *flakyStore) Keys() ([]string, error) {
+	if f.isBroken() {
+		return nil, fmt.Errorf("%w: flaky", ErrUnavailable)
+	}
+	return f.Memory.Keys()
+}
+
+// fakeClock drives the breaker's cooldown without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(primary Store, threshold int) (*Breaker, *fakeClock) {
+	b := NewBreaker(primary, BreakerOptions{Threshold: threshold, Cooldown: time.Minute})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerNeverErrors pins the breaker's core contract: no operation
+// returns an error, healthy or broken — failure becomes degradation.
+func TestBreakerNeverErrors(t *testing.T) {
+	f := newFlaky()
+	b, _ := newTestBreaker(f, 3)
+	f.setBroken(true)
+	for i := 0; i < 20; i++ {
+		key := hexKey(fmt.Sprintf("k%d", i))
+		if err := b.Put(key, val("v", 32)); err != nil {
+			t.Fatalf("put %d errored through breaker: %v", i, err)
+		}
+		if _, _, err := b.Get(key); err != nil {
+			t.Fatalf("get %d errored through breaker: %v", i, err)
+		}
+		if err := b.Delete(hexKey("absent")); err != nil {
+			t.Fatalf("delete %d errored through breaker: %v", i, err)
+		}
+	}
+}
+
+// TestBreakerTripsAndServesFallback drives consecutive failures past the
+// threshold and checks the breaker opens, reports degraded, and keeps
+// serving writes-then-reads from the in-memory fallback.
+func TestBreakerTripsAndServesFallback(t *testing.T) {
+	f := newFlaky()
+	b, _ := newTestBreaker(f, 3)
+
+	want := val("healthy", 64)
+	b.Put(hexKey("pre"), want)
+	if b.Degraded() {
+		t.Fatal("breaker open with healthy primary")
+	}
+
+	f.setBroken(true)
+	for i := 0; i < 3; i++ {
+		b.Put(hexKey(fmt.Sprintf("fail%d", i)), val("x", 16))
+	}
+	if !b.Degraded() {
+		t.Fatal("breaker closed after threshold consecutive failures")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", b.Trips())
+	}
+	if !b.Stats().Degraded {
+		t.Error("Stats().Degraded false while open")
+	}
+
+	// Degraded operation: results written during the outage stay readable.
+	out := val("outage", 48)
+	b.Put(hexKey("during"), out)
+	if got, ok, _ := b.Get(hexKey("during")); !ok || !bytes.Equal(got, out) {
+		t.Error("value written while degraded not readable")
+	}
+	// The writes diverted per-call before the trip are readable too.
+	if got, ok, _ := b.Get(hexKey("fail0")); !ok || len(got) != 16 {
+		t.Error("pre-trip diverted write not readable from fallback")
+	}
+}
+
+// TestBreakerProbesAndFlushes advances past the cooldown with a healed
+// primary and checks the probe closes the breaker and the fallback's
+// accumulated entries are flushed into the primary.
+func TestBreakerProbesAndFlushes(t *testing.T) {
+	f := newFlaky()
+	b, clk := newTestBreaker(f, 2)
+
+	f.setBroken(true)
+	b.Put(hexKey("a"), val("a", 16))
+	b.Put(hexKey("b"), val("b", 16))
+	if !b.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+	out := val("outage", 32)
+	b.Put(hexKey("c"), out)
+
+	// Still cooling down: no probe, primary untouched.
+	f.setBroken(false)
+	clk.advance(30 * time.Second)
+	b.Get(hexKey("c"))
+	if !b.Degraded() {
+		t.Fatal("breaker closed before cooldown elapsed")
+	}
+
+	// Past cooldown: next op probes the healed primary, closes, flushes.
+	clk.advance(31 * time.Second)
+	if got, ok, _ := b.Get(hexKey("c")); !ok || !bytes.Equal(got, out) {
+		t.Fatal("probe read lost the fallback value")
+	}
+	if b.Degraded() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	// Flushed: the value now lives in the primary itself.
+	if got, ok, _ := f.Memory.Get(hexKey("c")); !ok || !bytes.Equal(got, out) {
+		t.Error("fallback entry not flushed to primary on close")
+	}
+}
+
+// TestBreakerFailedProbeReopens checks a probe against a still-broken
+// primary restarts the cooldown instead of closing.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	f := newFlaky()
+	b, clk := newTestBreaker(f, 2)
+	f.setBroken(true)
+	b.Put(hexKey("a"), val("a", 16))
+	b.Put(hexKey("b"), val("b", 16))
+	if !b.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+
+	clk.advance(61 * time.Second)
+	b.Put(hexKey("probe"), val("p", 16)) // probe fails, cooldown restarts
+	if !b.Degraded() {
+		t.Fatal("breaker closed on failed probe")
+	}
+	if got, ok, _ := b.Get(hexKey("probe")); !ok || len(got) != 16 {
+		t.Error("failed-probe write lost")
+	}
+	// The restarted cooldown holds: 30s later, still no probe.
+	clk.advance(30 * time.Second)
+	if !b.Degraded() {
+		t.Fatal("restarted cooldown did not hold")
+	}
+}
+
+// TestBreakerIntermittentFailuresDontTrip checks the consecutive-failure
+// tally resets on success: a primary that fails every other call never
+// reaches a threshold of 3.
+func TestBreakerIntermittentFailuresDontTrip(t *testing.T) {
+	f := newFlaky()
+	b, _ := newTestBreaker(f, 3)
+	for i := 0; i < 30; i++ {
+		f.setBroken(i%2 == 0)
+		b.Put(hexKey(fmt.Sprintf("i%d", i)), val("v", 8))
+	}
+	if b.Degraded() {
+		t.Error("breaker tripped on non-consecutive failures")
+	}
+	if b.Trips() != 0 {
+		t.Errorf("trips = %d, want 0", b.Trips())
+	}
+}
+
+// TestBreakerGetConsultsFallbackOnMiss checks a value stranded in the
+// fallback by a single failed Put stays visible while the breaker is
+// closed and the primary misses.
+func TestBreakerGetConsultsFallbackOnMiss(t *testing.T) {
+	f := newFlaky()
+	b, _ := newTestBreaker(f, 5)
+	want := val("stranded", 24)
+
+	f.setBroken(true)
+	b.Put(hexKey("s"), want) // one diverted write, breaker stays closed
+	f.setBroken(false)
+	if b.Degraded() {
+		t.Fatal("breaker tripped below threshold")
+	}
+	if got, ok, _ := b.Get(hexKey("s")); !ok || !bytes.Equal(got, want) {
+		t.Error("stranded fallback value invisible while closed")
+	}
+}
+
+// TestBreakerWrapsErrUnavailable checks the breaker counts only backend
+// errors as failures: clean misses never trip it.
+func TestBreakerMissesDontTrip(t *testing.T) {
+	b, _ := newTestBreaker(NewMemory(1<<20), 2)
+	for i := 0; i < 10; i++ {
+		if _, ok, err := b.Get(hexKey(fmt.Sprintf("m%d", i))); ok || err != nil {
+			t.Fatalf("unexpected hit/error on empty store: ok=%v err=%v", ok, err)
+		}
+	}
+	if b.Degraded() {
+		t.Error("breaker tripped on clean misses")
+	}
+}
+
+// TestBreakerUnderChaos composes the two wrappers the way serve does:
+// breaker over a chaos store with a high error rate. The caller must see
+// zero errors and never wrong bytes — a miss before the trip is fine (the
+// cache contract allows it; the caller recomputes), garbage is not. With
+// err=0.5 the breaker must trip, after which the fallback serves every
+// operation and nothing misses.
+func TestBreakerUnderChaos(t *testing.T) {
+	ch, err := NewChaos(NewMemory(1<<20), "seed=11,err=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBreaker(ch, BreakerOptions{Threshold: 3, Cooldown: time.Hour})
+	for i := 0; i < 200; i++ {
+		key := hexKey(fmt.Sprintf("c%d", i))
+		want := val("v", 32)
+		if err := b.Put(key, want); err != nil {
+			t.Fatalf("put %d errored: %v", i, err)
+		}
+		got, ok, gerr := b.Get(key)
+		if gerr != nil {
+			t.Fatalf("get %d errored: %v", i, gerr)
+		}
+		if ok && !bytes.Equal(got, want) {
+			t.Fatalf("get %d served wrong bytes", i)
+		}
+		if b.Degraded() && !ok {
+			t.Fatalf("get %d missed while degraded: fallback lost the value just put", i)
+		}
+	}
+	if !b.Degraded() {
+		t.Fatal("breaker never tripped under err=0.5 chaos")
+	}
+	if !errors.Is(fmt.Errorf("%w: x", ErrUnavailable), ErrUnavailable) {
+		t.Fatal("sanity: wrapping broken")
+	}
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos is the deterministic fault-injecting store wrapper: it sits in
+// front of any inner store and, driven by a seeded splitmix64 stream,
+// fails a fraction of operations, tears a fraction of writes, and delays
+// every operation by a fixed latency. It makes store failure a first-class
+// test axis — the retry engine, the circuit breaker and the crash-restart
+// harness are all exercised against it with pinned seeds, so a failure
+// reproduces from its seed alone.
+//
+// Opened via the spec "chaos:seed=42,err=0.05,torn=0.01,lat=20ms:<inner>".
+// All parameters are optional; omitted ones are zero (no faults, no
+// latency).
+//
+// Injection decisions are a pure function of (seed, operation index): the
+// n-th faultable operation on a Chaos store always gets the same verdict
+// for a given seed. Under concurrency the assignment of verdicts to
+// callers interleaves, but the verdict sequence itself — and therefore the
+// injected failure rate — is exactly reproducible.
+type Chaos struct {
+	inner Store
+
+	seed     uint64
+	errRate  float64
+	tornRate float64
+	lat      time.Duration
+
+	ctr      atomic.Uint64
+	injected atomic.Int64 // operations failed with ErrInjected
+	torn     atomic.Int64 // writes committed with corrupted bytes
+}
+
+// NewChaos wraps inner with fault injection configured by a comma-separated
+// parameter list: seed=<uint>, err=<rate>, torn=<rate>, lat=<duration>.
+func NewChaos(inner Store, params string) (*Chaos, error) {
+	c := &Chaos{inner: inner}
+	for _, kv := range strings.Split(params, ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("store: chaos param %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			c.seed, err = strconv.ParseUint(v, 10, 64)
+		case "err":
+			c.errRate, err = parseRate(v)
+		case "torn":
+			c.tornRate, err = parseRate(v)
+		case "lat":
+			c.lat, err = time.ParseDuration(v)
+		default:
+			return nil, fmt.Errorf("store: unknown chaos param %q (want seed/err/torn/lat)", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: chaos param %s: %v", k, err)
+		}
+	}
+	return c, nil
+}
+
+func parseRate(s string) (float64, error) {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v out of [0,1]", r)
+	}
+	return r, nil
+}
+
+// splitmix64 is the same mixing function the fault-injecting simulator
+// uses for per-message hashing: full-period, and good enough avalanche
+// that consecutive counters give independent-looking uniform samples.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll draws the next uniform sample in [0,1).
+func (c *Chaos) roll() float64 {
+	n := c.ctr.Add(1)
+	return float64(splitmix64(c.seed^n)>>11) / float64(1<<53)
+}
+
+func (c *Chaos) delay() {
+	if c.lat > 0 {
+		time.Sleep(c.lat)
+	}
+}
+
+// fault decides whether this operation fails outright.
+func (c *Chaos) fault() bool {
+	if c.errRate <= 0 {
+		return false
+	}
+	if c.roll() < c.errRate {
+		c.injected.Add(1)
+		return true
+	}
+	return false
+}
+
+func (c *Chaos) errInjected(op string) error {
+	return fmt.Errorf("%w: injected %s fault", ErrUnavailable, op)
+}
+
+// Get injects read failures; successful reads pass through untouched (torn
+// data is injected at write time, where real torn writes happen).
+func (c *Chaos) Get(key string) ([]byte, bool, error) {
+	c.delay()
+	if c.fault() {
+		return nil, false, c.errInjected("read")
+	}
+	return c.inner.Get(key)
+}
+
+// Put injects write failures and torn writes. A torn write "succeeds" from
+// the caller's view but commits a truncated value — exactly the crash
+// shape a durable store must catch on the next read, so integrity
+// validation downstream (file CRCs, envelope CRCs) is what keeps it from
+// ever being served.
+func (c *Chaos) Put(key string, val []byte) error {
+	c.delay()
+	if c.fault() {
+		return c.errInjected("write")
+	}
+	if c.tornRate > 0 && c.roll() < c.tornRate {
+		c.torn.Add(1)
+		cut := len(val) / 2
+		torn := make([]byte, cut)
+		copy(torn, val[:cut])
+		c.inner.Put(key, torn)
+		return nil
+	}
+	return c.inner.Put(key, val)
+}
+
+// Delete injects failures like any other mutation.
+func (c *Chaos) Delete(key string) error {
+	c.delay()
+	if c.fault() {
+		return c.errInjected("delete")
+	}
+	return c.inner.Delete(key)
+}
+
+// Keys passes through (listing is not a faultable data path — the audit
+// loop must be able to see what exists even under chaos).
+func (c *Chaos) Keys() ([]string, error) { return c.inner.Keys() }
+
+// Stats reports the inner store's counters with injected faults added to
+// the error count.
+func (c *Chaos) Stats() Stats {
+	st := c.inner.Stats()
+	st.Errors += c.injected.Load()
+	return st
+}
+
+// Close closes the inner store.
+func (c *Chaos) Close() error { return c.inner.Close() }
+
+// Injected reports how many operations were failed and how many writes
+// were torn so far — the test oracle for injection rates.
+func (c *Chaos) Injected() (faults, torn int64) {
+	return c.injected.Load(), c.torn.Load()
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministic pins that two chaos stores with the same seed
+// produce the identical verdict sequence: same operations, same faults,
+// same torn writes. This is the property the whole harness leans on — a
+// chaos failure reproduces from its seed.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() (verdicts []bool, faults, torn int64) {
+		c, err := NewChaos(NewMemory(1<<20), "seed=42,err=0.2,torn=0.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			err := c.Put(hexKey(fmt.Sprintf("k%d", i)), val("v", 64))
+			verdicts = append(verdicts, err != nil)
+		}
+		faults, torn = c.Injected()
+		return
+	}
+	v1, f1, t1 := run()
+	v2, f2, t2 := run()
+	if f1 != f2 || t1 != t2 {
+		t.Fatalf("injection counts diverged across runs: %d/%d vs %d/%d", f1, t1, f2, t2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("verdict %d diverged across identically-seeded runs", i)
+		}
+	}
+	if f1 == 0 {
+		t.Error("err=0.2 over 200 ops injected nothing")
+	}
+	if t1 == 0 {
+		t.Error("torn=0.1 over 200 ops tore nothing")
+	}
+}
+
+// TestChaosRates checks the injected fault fraction lands near the
+// configured rate over a long run — the verdict stream is actually uniform.
+func TestChaosRates(t *testing.T) {
+	c, err := NewChaos(NewMemory(1<<20), "seed=7,err=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Get(hexKey(fmt.Sprintf("g%d", i))); err != nil {
+			fails++
+		}
+	}
+	rate := float64(fails) / n
+	if rate < 0.07 || rate > 0.13 {
+		t.Errorf("injected rate %.3f, want ~0.10", rate)
+	}
+}
+
+// TestChaosErrorsAreUnavailable pins the error classification contract:
+// every injected fault is a wrapped ErrUnavailable, so the retry engine
+// treats it as transient.
+func TestChaosErrorsAreUnavailable(t *testing.T) {
+	c, err := NewChaos(NewMemory(1<<20), "seed=1,err=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("v")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("injected put error %v does not wrap ErrUnavailable", err)
+	}
+	if _, _, err := c.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("injected get error %v does not wrap ErrUnavailable", err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("injected delete error %v does not wrap ErrUnavailable", err)
+	}
+}
+
+// TestChaosTornWriteCommitsTruncated checks a torn write acks success but
+// commits a truncated value to the inner store — the shape downstream
+// integrity checks (disk CRC, envelope CRC) must catch.
+func TestChaosTornWriteCommitsTruncated(t *testing.T) {
+	inner := NewMemory(1 << 20)
+	c, err := NewChaos(inner, "seed=3,torn=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := val("payload", 100)
+	if err := c.Put("k", want); err != nil {
+		t.Fatalf("torn write reported error: %v", err)
+	}
+	got, ok, _ := inner.Get("k")
+	if !ok {
+		t.Fatal("torn write committed nothing")
+	}
+	if len(got) != 50 || !bytes.Equal(got, want[:50]) {
+		t.Errorf("torn write committed %d bytes, want the 50-byte prefix", len(got))
+	}
+	if _, torn := c.Injected(); torn != 1 {
+		t.Errorf("torn counter = %d, want 1", torn)
+	}
+}
+
+// TestChaosLatency checks the lat= parameter actually delays operations.
+func TestChaosLatency(t *testing.T) {
+	c, err := NewChaos(NewMemory(1<<20), "lat=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.Put("k", []byte("v"))
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("put took %v, want >= 10ms", d)
+	}
+}
+
+// TestChaosZeroConfigPassesThrough checks a chaos store with no fault
+// parameters behaves exactly like its inner store.
+func TestChaosZeroConfigPassesThrough(t *testing.T) {
+	c, err := NewChaos(NewMemory(1<<20), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := val("v", 64)
+	for i := 0; i < 100; i++ {
+		key := hexKey(fmt.Sprintf("p%d", i))
+		if err := c.Put(key, want); err != nil {
+			t.Fatalf("put %d failed with no faults configured: %v", i, err)
+		}
+		if got, ok, err := c.Get(key); err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if f, tn := c.Injected(); f != 0 || tn != 0 {
+		t.Errorf("zero-config chaos injected %d faults, %d torn", f, tn)
+	}
+}

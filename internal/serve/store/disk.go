@@ -9,6 +9,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -17,12 +18,14 @@ import (
 // against a CRC32 recorded at write time. Because the file name is a pure
 // function of the key, several server replicas pointed at the same
 // directory share hits, and a restarted server finds its warm set on the
-// next Get. Writes are durable (fsync before an atomic rename) so an
-// acknowledged result survives a crash.
+// next Get. Writes are durable (fsync before an atomic rename, then a
+// directory fsync) so an acknowledged result survives a crash.
 //
 // A failed CRC check means torn or bit-rotted data: the entry is deleted
 // and the read reported as a miss, so the caller falls through to
-// recompute — the store never serves garbage.
+// recompute — the store never serves garbage. Genuine I/O failures (as
+// opposed to misses) are surfaced as wrapped ErrUnavailable so a breaker
+// in front can degrade instead of thrashing.
 type Disk struct {
 	dir    string
 	budget int64
@@ -32,7 +35,7 @@ type Disk struct {
 	bytes int64
 	index map[string]*diskEntry
 
-	hits, misses, evictions, corrupt int64
+	hits, misses, evictions, corrupt, errors int64
 }
 
 type diskEntry struct {
@@ -49,18 +52,43 @@ const diskHeaderLen = 12
 // maxKeyLen bounds the stored key header against hostile files.
 const maxKeyLen = 4096
 
+// tmpPrefix marks in-flight commit files; a crash between CreateTemp and
+// the rename strands one, and the startup sweep reclaims it.
+const tmpPrefix = ".tmp-"
+
 // NewDisk opens (creating if needed) a disk store rooted at dir with the
-// given payload byte budget. Existing entries are indexed — invalid or
+// given payload byte budget. Orphaned temp files from a previous process
+// crashing mid-commit are swept first — without the sweep, a fully
+// written temp file that never got renamed could be indexed at a path no
+// Get will ever probe. Then existing entries are indexed; invalid or
 // corrupt files found during the scan are deleted.
 func NewDisk(dir string, budget int64) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	d := &Disk{dir: dir, budget: budget, index: make(map[string]*diskEntry)}
+	if err := d.sweepTemp(); err != nil {
+		return nil, err
+	}
 	if err := d.rescan(); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// sweepTemp deletes every stranded commit temp file under the store root.
+// Temp files are only ever live inside a writeDurable call of a running
+// process; at open time any survivor is an orphan from a crash.
+func (d *Disk) sweepTemp() error {
+	return filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			os.Remove(path)
+		}
+		return nil
+	})
 }
 
 // path maps a key to its file: the key itself when it is already a
@@ -119,15 +147,20 @@ func decode(buf []byte) (key string, val []byte, err error) {
 
 // Get reads and validates the entry's file. Unknown keys probe the
 // directory anyway, so a value written by another replica (or a previous
-// process) is adopted on first access.
-func (d *Disk) Get(key string) ([]byte, bool) {
+// process) is adopted on first access. A missing file is a clean miss; any
+// other read failure is a backend error.
+func (d *Disk) Get(key string) ([]byte, bool, error) {
 	buf, err := os.ReadFile(d.path(key))
 	if err != nil {
 		d.mu.Lock()
+		defer d.mu.Unlock()
 		d.misses++
 		d.dropLocked(key)
-		d.mu.Unlock()
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		d.errors++
+		return nil, false, fmt.Errorf("%w: read %s: %v", ErrUnavailable, key[:min(8, len(key))], err)
 	}
 	fileKey, val, derr := decode(buf)
 	if derr != nil || fileKey != key {
@@ -139,25 +172,30 @@ func (d *Disk) Get(key string) ([]byte, bool) {
 		d.misses++
 		d.dropLocked(key)
 		d.mu.Unlock()
-		return nil, false
+		return nil, false, nil
 	}
 	d.mu.Lock()
 	d.hits++
 	d.touchLocked(key, int64(len(val)))
 	d.mu.Unlock()
-	return val, true
+	return val, true, nil
 }
 
-// Put durably writes the entry (temp file, fsync, atomic rename), then
-// evicts least-recently-used entries past the byte budget. The file write
-// happens outside the index lock so concurrent Puts overlap their I/O.
-func (d *Disk) Put(key string, val []byte) {
+// Put durably writes the entry (temp file, fsync, atomic rename, directory
+// fsync), then evicts least-recently-used entries past the byte budget.
+// The file write happens outside the index lock so concurrent Puts overlap
+// their I/O. A failed write surfaces as a backend error — callers (the
+// breaker, the retry engine) decide whether to fall back or retry.
+func (d *Disk) Put(key string, val []byte) error {
 	if int64(len(val)) > d.budget {
-		return
+		return nil
 	}
 	path := d.path(key)
 	if err := writeDurable(path, encode(key, val)); err != nil {
-		return // a failed write is a future miss, not an error surface
+		d.mu.Lock()
+		d.errors++
+		d.mu.Unlock()
+		return fmt.Errorf("%w: write %s: %v", ErrUnavailable, key[:min(8, len(key))], err)
 	}
 	d.mu.Lock()
 	d.touchLocked(key, int64(len(val)))
@@ -166,18 +204,20 @@ func (d *Disk) Put(key string, val []byte) {
 	for _, v := range victims {
 		os.Remove(d.path(v))
 	}
+	return nil
 }
 
 // writeDurable writes buf next to path and renames it into place after an
 // fsync, then fsyncs the parent directory: without the directory sync the
 // rename itself may not survive a crash, and an acknowledged entry could
 // silently vanish. A crash at any point leaves either the old entry or the
-// new one — never a torn file under the content address.
+// new one — never a torn file under the content address (at worst a
+// stranded temp file, reclaimed by the next open's sweep).
 func writeDurable(path string, buf []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+"*")
 	if err != nil {
 		return err
 	}
@@ -208,24 +248,33 @@ func writeDurable(path string, buf []byte) error {
 }
 
 // Delete removes the entry and its file.
-func (d *Disk) Delete(key string) {
-	os.Remove(d.path(key))
+func (d *Disk) Delete(key string) error {
+	err := os.Remove(d.path(key))
 	d.mu.Lock()
 	d.dropLocked(key)
 	d.mu.Unlock()
+	if err != nil && !os.IsNotExist(err) {
+		d.mu.Lock()
+		d.errors++
+		d.mu.Unlock()
+		return fmt.Errorf("%w: delete: %v", ErrUnavailable, err)
+	}
+	return nil
 }
 
 // Keys rescans the directory (adopting entries other replicas wrote) and
 // lists every resident key.
-func (d *Disk) Keys() []string {
-	d.rescan()
+func (d *Disk) Keys() ([]string, error) {
+	if err := d.rescan(); err != nil {
+		return nil, fmt.Errorf("%w: rescan: %v", ErrUnavailable, err)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	keys := make([]string, 0, len(d.index))
 	for k := range d.index {
 		keys = append(keys, k)
 	}
-	return keys
+	return keys, nil
 }
 
 // Stats snapshots the counters.
@@ -239,6 +288,7 @@ func (d *Disk) Stats() Stats {
 		Misses:    d.misses,
 		Evictions: d.evictions,
 		Corrupt:   d.corrupt,
+		Errors:    d.errors,
 	}
 }
 
@@ -300,10 +350,12 @@ func (d *Disk) evictLocked(keep string) []string {
 
 // rescan walks the store directory, validating and indexing every entry
 // file; invalid files are deleted, already-indexed keys keep their
-// recency.
+// recency. In-flight temp files of concurrent writers are skipped — they
+// are either about to be renamed into place or are a crash's orphans for
+// the next open's sweep.
 func (d *Disk) rescan() error {
 	return filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
-		if err != nil || de.IsDir() {
+		if err != nil || de.IsDir() || strings.HasPrefix(de.Name(), tmpPrefix) {
 			return nil // a vanished file or unreadable subdir is not fatal
 		}
 		buf, rerr := os.ReadFile(path)

@@ -7,7 +7,7 @@ import (
 
 // Memory is the in-process LRU store, bounded by a byte budget. It is the
 // default backend: fastest, but private to one process and lost on
-// restart.
+// restart. It never fails: every operation returns a nil error.
 type Memory struct {
 	mu     sync.Mutex
 	budget int64
@@ -29,25 +29,25 @@ func NewMemory(budget int64) *Memory {
 }
 
 // Get returns the value stored under key, bumping its recency.
-func (c *Memory) Get(key string) ([]byte, bool) {
+func (c *Memory) Get(key string) ([]byte, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, false, nil
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*memEntry).val, true
+	return el.Value.(*memEntry).val, true, nil
 }
 
 // Put inserts or refreshes key, then evicts least-recently-used entries
 // until the byte budget holds. Values larger than the whole budget are not
 // cached at all.
-func (c *Memory) Put(key string, val []byte) {
+func (c *Memory) Put(key string, val []byte) error {
 	if int64(len(val)) > c.budget {
-		return
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -71,31 +71,33 @@ func (c *Memory) Put(key string, val []byte) {
 		c.bytes -= int64(len(ent.val))
 		c.evictions++
 	}
+	return nil
 }
 
 // Delete removes key if present.
-func (c *Memory) Delete(key string) {
+func (c *Memory) Delete(key string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return
+		return nil
 	}
 	ent := el.Value.(*memEntry)
 	c.ll.Remove(el)
 	delete(c.items, key)
 	c.bytes -= int64(len(ent.val))
+	return nil
 }
 
 // Keys lists the resident keys, most recently used first.
-func (c *Memory) Keys() []string {
+func (c *Memory) Keys() ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	keys := make([]string, 0, len(c.items))
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		keys = append(keys, el.Value.(*memEntry).key)
 	}
-	return keys
+	return keys, nil
 }
 
 // Stats snapshots the counters.

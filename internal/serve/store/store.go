@@ -5,12 +5,25 @@
 // several server replicas on one host share cache hits and a restarted
 // server keeps its warm set). The serve layer stores opaque result
 // envelopes; the store never interprets the bytes.
+//
+// Backend failures are first-class: every operation reports I/O errors
+// distinctly from misses, a deterministic fault-injecting wrapper
+// ("chaos:...") makes failures a test axis, and a circuit breaker
+// (NewBreaker) degrades to an in-memory fallback instead of failing the
+// caller when the backend goes bad.
 package store
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrUnavailable is the class of transient backend failure: disk I/O
+// errors, injected chaos faults, a tripped breaker's probe. Callers branch
+// with errors.Is — a wrapped ErrUnavailable is retryable, anything else is
+// a caller bug or permanent condition.
+var ErrUnavailable = errors.New("store: backend unavailable")
 
 // Stats is a point-in-time snapshot of a store's occupancy and traffic
 // counters.
@@ -24,30 +37,45 @@ type Stats struct {
 	// Corrupt counts entries that failed integrity validation on read and
 	// were discarded: every corrupt read is a miss, never served data.
 	Corrupt int64
+	// Errors counts operations that failed with a backend error (I/O,
+	// injected faults); misses and corrupt discards are not errors.
+	Errors int64
+	// Degraded reports that a circuit breaker in front of this store is
+	// open and operations are being served by the in-memory fallback.
+	Degraded bool
 }
 
 // Store is a bounded content-addressed result store. Implementations are
 // safe for concurrent use. Values are opaque; a Get either returns exactly
 // the bytes a Put stored under the key, or reports a miss — a store must
 // never return partially written or corrupted data.
+//
+// Error contract: (val, true, nil) is a hit, (nil, false, nil) a clean
+// miss, and a non-nil error a backend failure (the value is unusable and
+// the condition is usually transient — wrapped ErrUnavailable).
 type Store interface {
 	// Get returns the value stored under key, bumping its recency.
-	Get(key string) ([]byte, bool)
+	Get(key string) ([]byte, bool, error)
 	// Put inserts or refreshes key. Values above the store's whole byte
-	// budget are dropped rather than stored.
-	Put(key string, val []byte)
+	// budget are dropped rather than stored (not an error).
+	Put(key string, val []byte) error
 	// Delete removes key if present.
-	Delete(key string)
+	Delete(key string) error
 	// Keys lists the resident keys in unspecified order.
-	Keys() []string
+	Keys() ([]string, error)
 	// Stats snapshots the counters.
 	Stats() Stats
 	// Close releases resources. The store must not be used afterwards.
 	Close() error
 }
 
-// Open builds a store from a CLI-style spec: "memory" for the in-process
-// LRU, or "disk:<dir>" for the shared on-disk store rooted at dir.
+// Open builds a store from a CLI-style spec:
+//
+//	memory                                  in-process LRU
+//	disk:<dir>                              shared on-disk store rooted at dir
+//	chaos:seed=42,err=0.05,torn=0.01,lat=20ms:<inner>
+//	                                        deterministic fault injection
+//	                                        wrapped around an inner spec
 func Open(spec string, budget int64) (Store, error) {
 	switch {
 	case spec == "" || spec == "memory":
@@ -58,7 +86,24 @@ func Open(spec string, budget int64) (Store, error) {
 			return nil, fmt.Errorf("store: disk spec needs a directory (disk:<dir>)")
 		}
 		return NewDisk(dir, budget)
+	case strings.HasPrefix(spec, "chaos:"):
+		rest := strings.TrimPrefix(spec, "chaos:")
+		i := strings.Index(rest, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("store: chaos spec needs an inner store (chaos:<params>:<inner>)")
+		}
+		params, innerSpec := rest[:i], rest[i+1:]
+		inner, err := Open(innerSpec, budget)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := NewChaos(inner, params)
+		if err != nil {
+			inner.Close()
+			return nil, err
+		}
+		return ch, nil
 	default:
-		return nil, fmt.Errorf("store: unknown spec %q (want \"memory\" or \"disk:<dir>\")", spec)
+		return nil, fmt.Errorf("store: unknown spec %q (want \"memory\", \"disk:<dir>\" or \"chaos:<params>:<inner>\")", spec)
 	}
 }

@@ -24,6 +24,16 @@ func val(seed string, n int) []byte {
 	return b
 }
 
+// mustGet fails the test on a backend error and returns the hit/value pair.
+func mustGet(t *testing.T, s Store, key string) ([]byte, bool) {
+	t.Helper()
+	v, ok, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", key[:min(8, len(key))], err)
+	}
+	return v, ok
+}
+
 // TestDifferentialMemoryVsDisk drives both implementations through one
 // mixed sequence of puts, gets, replacements and deletes and pins that
 // every Get answers byte-identically — the store behind the serve cache is
@@ -58,15 +68,19 @@ func TestDifferentialMemoryVsDisk(t *testing.T) {
 		switch op.op {
 		case "put":
 			for _, s := range stores {
-				s.Put(key, op.val)
+				if err := s.Put(key, op.val); err != nil {
+					t.Fatalf("op %d: put: %v", i, err)
+				}
 			}
 		case "del":
 			for _, s := range stores {
-				s.Delete(key)
+				if err := s.Delete(key); err != nil {
+					t.Fatalf("op %d: delete: %v", i, err)
+				}
 			}
 		case "get":
-			mv, mok := mem.Get(key)
-			dv, dok := disk.Get(key)
+			mv, mok := mustGet(t, mem, key)
+			dv, dok := mustGet(t, disk, key)
 			if mok != dok {
 				t.Fatalf("op %d: presence diverged for %s: memory=%v disk=%v", i, key[:8], mok, dok)
 			}
@@ -96,7 +110,7 @@ func TestDiskCorruptionFallsThrough(t *testing.T) {
 	key := hexKey("victim")
 	want := val("payload", 512)
 	d.Put(key, want)
-	if got, ok := d.Get(key); !ok || !bytes.Equal(got, want) {
+	if got, ok := mustGet(t, d, key); !ok || !bytes.Equal(got, want) {
 		t.Fatal("clean entry unreadable")
 	}
 
@@ -111,7 +125,7 @@ func TestDiskCorruptionFallsThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if got, ok := d.Get(key); ok {
+	if got, ok := mustGet(t, d, key); ok {
 		t.Fatalf("corrupt entry served: %d bytes", len(got))
 	}
 	if st := d.Stats(); st.Corrupt != 1 {
@@ -122,7 +136,7 @@ func TestDiskCorruptionFallsThrough(t *testing.T) {
 	}
 	// The slot is reusable: a fresh Put serves again.
 	d.Put(key, want)
-	if got, ok := d.Get(key); !ok || !bytes.Equal(got, want) {
+	if got, ok := mustGet(t, d, key); !ok || !bytes.Equal(got, want) {
 		t.Error("re-put after corruption unreadable")
 	}
 }
@@ -158,7 +172,7 @@ func TestDiskHeaderCorruption(t *testing.T) {
 			if err := os.WriteFile(path, tc.wreck(buf), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			if _, ok := d.Get(key); ok {
+			if _, ok := mustGet(t, d, key); ok {
 				t.Error("wrecked entry served")
 			}
 		})
@@ -182,11 +196,56 @@ func TestDiskSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := d2.Get(key); !ok || !bytes.Equal(got, want) {
+	if got, ok := mustGet(t, d2, key); !ok || !bytes.Equal(got, want) {
 		t.Fatal("entry lost across reopen")
 	}
-	if got := d2.Keys(); len(got) != 1 || got[0] != key {
+	got, err := d2.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != key {
 		t.Errorf("Keys after reopen = %v", got)
+	}
+}
+
+// TestDiskSweepsOrphanedTemp pins the startup hygiene story: a temp file
+// stranded by a crash mid-commit is removed on the next open and never
+// indexed, even when its content would decode as a valid entry.
+func TestDiskSweepsOrphanedTemp(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey("orphan")
+	d.Put(key, val("v", 64))
+	d.Close()
+
+	// Simulate a crash between CreateTemp+fsync and the rename: a fully
+	// valid entry image sitting under a temp name.
+	sub := filepath.Join(dir, key[:2])
+	orphan := filepath.Join(sub, tmpPrefix+"123456")
+	if err := os.WriteFile(orphan, encode(hexKey("ghost"), val("g", 32)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned temp file survived reopen")
+	}
+	keys, err := d2.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Errorf("Keys after sweep = %v, want just the real entry", keys)
+	}
+	// The ghost key the orphan carried must be a clean miss.
+	if _, ok := mustGet(t, d2, hexKey("ghost")); ok {
+		t.Error("orphaned temp content served")
 	}
 }
 
@@ -206,7 +265,7 @@ func TestDiskSharedBetweenReplicas(t *testing.T) {
 	key := hexKey("shared")
 	want := val("s", 128)
 	a.Put(key, want)
-	if got, ok := b.Get(key); !ok || !bytes.Equal(got, want) {
+	if got, ok := mustGet(t, b, key); !ok || !bytes.Equal(got, want) {
 		t.Fatal("replica b missed a's write")
 	}
 	if st := b.Stats(); st.Hits != 1 {
@@ -231,20 +290,20 @@ func TestDiskEviction(t *testing.T) {
 	if st.Entries != 10 || st.Bytes != 80 {
 		t.Errorf("entries/bytes = %d/%d, want 10/80", st.Entries, st.Bytes)
 	}
-	if _, ok := d.Get(keys[0]); ok {
+	if _, ok := mustGet(t, d, keys[0]); ok {
 		t.Error("oldest key survived eviction")
 	}
-	if _, ok := d.Get(keys[19]); !ok {
+	if _, ok := mustGet(t, d, keys[19]); !ok {
 		t.Error("newest key evicted")
 	}
 	// Oversized values are not stored at all.
 	d.Put(hexKey("big"), val("b", 81))
-	if _, ok := d.Get(hexKey("big")); ok {
+	if _, ok := mustGet(t, d, hexKey("big")); ok {
 		t.Error("oversized entry stored")
 	}
 }
 
-// TestOpenSpec covers the CLI spec parser.
+// TestOpenSpec covers the CLI spec parser, including the chaos wrapper.
 func TestOpenSpec(t *testing.T) {
 	if s, err := Open("memory", 1<<10); err != nil {
 		t.Fatal(err)
@@ -257,9 +316,33 @@ func TestOpenSpec(t *testing.T) {
 	} else if _, ok := s.(*Disk); !ok {
 		t.Errorf("disk spec opened %T", s)
 	}
-	for _, bad := range []string{"disk:", "redis://x", "tape"} {
-		if _, err := Open(bad, 1); err == nil {
-			t.Errorf("spec %q accepted", bad)
+	if s, err := Open("chaos:seed=7,err=0.5:memory", 1<<10); err != nil {
+		t.Fatal(err)
+	} else {
+		ch, ok := s.(*Chaos)
+		if !ok {
+			t.Fatalf("chaos spec opened %T", s)
+		}
+		if _, ok := ch.inner.(*Memory); !ok {
+			t.Errorf("chaos inner = %T, want *Memory", ch.inner)
+		}
+	}
+	// Nested specs: chaos around disk.
+	if s, err := Open("chaos:seed=1:disk:"+dir, 1<<10); err != nil {
+		t.Fatal(err)
+	} else if ch, ok := s.(*Chaos); !ok {
+		t.Fatalf("chaos-disk spec opened %T", s)
+	} else if _, ok := ch.inner.(*Disk); !ok {
+		t.Errorf("chaos inner = %T, want *Disk", ch.inner)
+	}
+	bad := []string{
+		"disk:", "redis://x", "tape",
+		"chaos:", "chaos:seed=1", "chaos:seed=x:memory",
+		"chaos:err=2:memory", "chaos:zoom=1:memory", "chaos:seed:memory",
+	}
+	for _, spec := range bad {
+		if _, err := Open(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
 		}
 	}
 }
@@ -268,29 +351,33 @@ func TestOpenSpec(t *testing.T) {
 // the serve package when the cache went behind the Store interface).
 func TestMemoryLRU(t *testing.T) {
 	c := NewMemory(100)
-	if _, ok := c.Get("a"); ok {
+	if _, ok := mustGet(t, c, "a"); ok {
 		t.Fatal("hit on empty store")
 	}
 	c.Put("a", make([]byte, 40))
 	c.Put("b", make([]byte, 40))
-	if _, ok := c.Get("a"); !ok {
+	if _, ok := mustGet(t, c, "a"); !ok {
 		t.Fatal("miss on resident entry a")
 	}
 	// a is now MRU; inserting c (40 bytes) over the 100-byte budget must
 	// evict b, the LRU entry, not a.
 	c.Put("c", make([]byte, 40))
-	if _, ok := c.Get("b"); ok {
+	if _, ok := mustGet(t, c, "b"); ok {
 		t.Error("b survived eviction; LRU order not honored")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, ok := mustGet(t, c, "a"); !ok {
 		t.Error("recently-used a was evicted")
 	}
 	st := c.Stats()
 	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
 		t.Errorf("stats = %+v, want 1 eviction, 2 entries, 80 bytes", st)
 	}
-	if got := c.Keys(); len(got) != 2 {
-		t.Errorf("Keys = %v", got)
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Errorf("Keys = %v", keys)
 	}
 	c.Delete("a")
 	if st := c.Stats(); st.Entries != 1 || st.Bytes != 40 {
